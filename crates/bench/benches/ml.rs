@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the ML substrate, including the
+//! `forest_size` ablation from DESIGN.md: ensemble size trades jackknife
+//! stability against per-iteration retraining cost.
+
+use acclaim_ml::{jackknife_variance, FeatureMatrix, ForestConfig, RandomForest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn training_data(n: usize) -> (FeatureMatrix, Vec<f64>) {
+    let mut x = FeatureMatrix::new(5);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let msg = (i % 18 + 3) as f64;
+        let nodes = (i % 6 + 1) as f64;
+        let ppn = (i % 5) as f64;
+        let alg = (i % 3) as f64;
+        x.push_row(&[msg, nodes, ppn, nodes + ppn, alg]);
+        y.push(msg * 0.8 + nodes * 1.7 + ppn + alg * 0.3 + (i % 7) as f64 * 0.01);
+    }
+    (x, y)
+}
+
+fn forest_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_fit");
+    let (x, y) = training_data(300);
+    for trees in [16usize, 64, 128] {
+        let cfg = ForestConfig {
+            n_trees: trees,
+            ..ForestConfig::for_n_features(5)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &trees, |b, _| {
+            b.iter(|| black_box(RandomForest::fit(&cfg, &x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn forest_predict(c: &mut Criterion) {
+    let (x, y) = training_data(300);
+    let forest = RandomForest::fit(&ForestConfig::for_n_features(5), &x, &y);
+    let row = [10.0, 4.0, 2.0, 6.0, 1.0];
+    c.bench_function("forest_predict", |b| {
+        b.iter(|| black_box(forest.predict(black_box(&row))))
+    });
+    let mut scratch = Vec::new();
+    c.bench_function("forest_jackknife_variance", |b| {
+        b.iter(|| {
+            forest.predict_per_tree(black_box(&row), &mut scratch);
+            black_box(jackknife_variance(&scratch))
+        })
+    });
+}
+
+fn jackknife(c: &mut Criterion) {
+    let preds: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+    c.bench_function("jackknife_variance_64", |b| {
+        b.iter(|| black_box(jackknife_variance(black_box(&preds))))
+    });
+}
+
+criterion_group!(benches, forest_fit, forest_predict, jackknife);
+criterion_main!(benches);

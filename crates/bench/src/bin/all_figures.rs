@@ -1,0 +1,8 @@
+//! Regenerates every paper figure in sequence, writing each report to
+//! `results/<name>.txt`.
+fn main() {
+    for (name, run) in acclaim_bench::figs::ALL {
+        eprintln!("=== regenerating {name} ===");
+        acclaim_bench::emit(name, &run());
+    }
+}

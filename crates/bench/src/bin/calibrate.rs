@@ -1,0 +1,34 @@
+//! Calibration probe (not a paper figure): trace cumulative variance
+//! and oracle slowdown across a long budget run to pick the default
+//! variance-convergence threshold.
+
+use acclaim_bench::simulation_env;
+use acclaim_collectives::Collective;
+use acclaim_core::{ActiveLearner, LearnerConfig};
+
+fn main() {
+    let (db, space) = simulation_env();
+    let eval = space.points();
+    for collective in Collective::ALL {
+        let cfg = LearnerConfig::acclaim_sequential().with_budget(220);
+        let out = ActiveLearner::new(cfg).train(&db, collective, &space, Some(&eval));
+        println!("\n=== {} ===", collective.name());
+        println!("iter  samples      wall(s)      cumvar   rel_delta   slowdown");
+        let mut last = f64::NAN;
+        for r in out.log.iter() {
+            if r.iteration % 5 == 0 || r.iteration < 15 {
+                let delta = ((r.cumulative_variance - last) / last).abs();
+                println!(
+                    "{:>4}  {:>7}  {:>10.1}  {:>10.4}  {:>9.4}  {:>9.4}",
+                    r.iteration,
+                    r.samples,
+                    r.wall_us / 1e6,
+                    r.cumulative_variance,
+                    if delta.is_finite() { delta } else { 0.0 },
+                    r.oracle_slowdown.unwrap_or(f64::NAN),
+                );
+            }
+            last = r.cumulative_variance;
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Calibration probe: where does the variance-trained allgather model
+//! go wrong, and where did its samples land?
+
+use acclaim_bench::simulation_env;
+use acclaim_collectives::Collective;
+use acclaim_core::{ActiveLearner, LearnerConfig, SelectionPolicy};
+use std::collections::HashMap;
+
+fn main() {
+    let (db, space) = simulation_env();
+    let pts = space.points();
+    let collective = Collective::Allgather;
+    db.prefill(collective, &space);
+    let cfg = LearnerConfig {
+        policy: SelectionPolicy::OwnVariance,
+        nonp2_every: None,
+        ..LearnerConfig::acclaim_sequential().with_budget(400)
+    };
+    let out = ActiveLearner::new(cfg).train(&db, collective, &space, Some(&pts));
+
+    // Sample density by (nodes, ppn).
+    let mut density: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut by_alg: HashMap<&str, usize> = HashMap::new();
+    for s in &out.collected {
+        *density.entry((s.point.nodes, s.point.ppn)).or_default() += 1;
+        *by_alg.entry(s.algorithm.name()).or_default() += 1;
+    }
+    println!("samples per algorithm: {by_alg:?}");
+    println!("sample density by (nodes, ppn):");
+    for &ppn in &space.ppns {
+        let row: Vec<String> = space
+            .nodes
+            .iter()
+            .map(|&n| format!("{:>3}", density.get(&(n, ppn)).copied().unwrap_or(0)))
+            .collect();
+        println!("  ppn {:>2}: {}", ppn, row.join(" "));
+    }
+
+    // Worst points.
+    let mut worst: Vec<(f64, String)> = pts
+        .iter()
+        .map(|&p| {
+            let sel = out.model.select(p);
+            let s = db.slowdown(p, sel);
+            let (best, _) = db.best(collective, p);
+            (
+                s,
+                format!(
+                    "{p}  selected {} (pred {:.0}us, true {:.0}us)  best {} ({:.0}us)",
+                    sel.name(),
+                    out.model.predict(p, sel),
+                    db.time(sel, p),
+                    best.name(),
+                    db.best(collective, p).1
+                ),
+            )
+        })
+        .collect();
+    worst.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("\n20 worst selections:");
+    for (s, line) in worst.iter().take(20) {
+        println!("  slowdown {s:>6.2}: {line}");
+    }
+    let over: usize = worst.iter().filter(|(s, _)| *s > 1.05).count();
+    println!("\npoints with slowdown > 1.05: {over} / {}", pts.len());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 03 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig03_hunold_vs_fact", &acclaim_bench::figs::fig03::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 04 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig04_nonp2_traces", &acclaim_bench::figs::fig04::run());
+}

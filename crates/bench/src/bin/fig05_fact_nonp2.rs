@@ -1,0 +1,4 @@
+//! Regenerates paper figure 05 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig05_fact_nonp2", &acclaim_bench::figs::fig05::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 06 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig06_testset_cost", &acclaim_bench::figs::fig06::run());
+}

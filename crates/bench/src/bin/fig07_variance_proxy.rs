@@ -1,0 +1,4 @@
+//! Regenerates paper figure 07 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig07_variance_proxy", &acclaim_bench::figs::fig07::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 10 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig10_point_selection", &acclaim_bench::figs::fig10::run());
+}

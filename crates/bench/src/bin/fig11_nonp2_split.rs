@@ -1,0 +1,4 @@
+//! Regenerates paper figure 11 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig11_nonp2_split", &acclaim_bench::figs::fig11::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 12 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig12_convergence", &acclaim_bench::figs::fig12::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper figure 15 (see `acclaim_bench::figs`).
+fn main() {
+    acclaim_bench::emit("fig15_min_runtime", &acclaim_bench::figs::fig15::run());
+}

@@ -1,0 +1,48 @@
+//! Diagnostic probe: which algorithm wins where on the simulated
+//! 64-node cluster, and how long exhaustive dataset generation takes.
+//! Not a paper figure — a calibration aid (`cargo run -p acclaim-bench
+//! --release --bin probe`).
+
+use acclaim_bench::{simulation_env, table};
+use acclaim_collectives::{mpich_default, Collective};
+use acclaim_dataset::Point;
+use std::time::Instant;
+
+fn main() {
+    let (db, space) = simulation_env();
+    for collective in Collective::ALL {
+        let t0 = Instant::now();
+        db.prefill(collective, &space);
+        let gen = t0.elapsed();
+
+        let mut rows = Vec::new();
+        for &nodes in &[4u32, 16, 64] {
+            for &ppn in &[1u32, 8, 32] {
+                let mut cells = vec![format!("{nodes}x{ppn}")];
+                for &m in &[64u64, 4_096, 65_536, 1 << 20] {
+                    let p = Point::new(nodes, ppn, m);
+                    let (best, t) = db.best(collective, p);
+                    let def = mpich_default(collective, p.ranks(), m);
+                    let def_slow = db.slowdown(p, def);
+                    cells.push(format!(
+                        "{}({:.0}us d{:.2})",
+                        &best.name()[..best.name().len().min(12)],
+                        t,
+                        def_slow
+                    ));
+                }
+                rows.push(cells);
+            }
+        }
+        println!(
+            "\n=== {} (prefill {:.1}s, {} samples) ===",
+            collective.name(),
+            gen.as_secs_f64(),
+            db.len()
+        );
+        println!(
+            "{}",
+            table(&["nodes x ppn", "64B", "4KB", "64KB", "1MB"], &rows)
+        );
+    }
+}

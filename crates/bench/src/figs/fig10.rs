@@ -1,0 +1,95 @@
+//! Fig. 10 — training-data collection time to reach the 1.03 average-
+//! slowdown criterion: ACCLAiM's jackknife point selection vs FACT's
+//! surrogate-driven selection, per collective (both collecting
+//! sequentially to isolate the selection methodology).
+
+use crate::{fmt_secs, simulation_env, table};
+use acclaim_collectives::Collective;
+use acclaim_core::{ActiveLearner, LearnerConfig, TrainingOutcome};
+
+/// The paper's criterion is 1.03; this substrate's measurement noise and
+/// tight algorithm races put the achievable floor slightly higher, so
+/// the reproduction uses 1.05 (noted in EXPERIMENTS.md).
+pub const REPRO_SLOWDOWN: f64 = 1.05;
+
+/// Time to convergence, robust to single-iteration flickers: first
+/// record from which the slowdown stays below the bound for at least
+/// `hold` consecutive records.
+pub fn sustained_time_to(outcome: &TrainingOutcome, bound: f64, hold: usize) -> Option<f64> {
+    let recs = &outcome.log;
+    let mut streak = 0usize;
+    for (i, r) in recs.iter().enumerate() {
+        if r.oracle_slowdown.is_some_and(|s| s <= bound) {
+            streak += 1;
+            if streak >= hold {
+                return Some(recs[i + 1 - hold].wall_us);
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    None
+}
+
+/// Regenerate the figure; returns the report text.
+pub fn run() -> String {
+    let (db, space) = simulation_env();
+    let eval = space.points();
+
+    let mut rows = Vec::new();
+    let mut total_acclaim = 0.0;
+    let mut total_fact = 0.0;
+    for c in Collective::ALL {
+        db.prefill(c, &space);
+        let n_cand = space.len() * c.algorithms().len();
+        let cap = (n_cand / 2).min(450);
+
+        // Sec. VI-A isolates the *selection* methodology: sequential
+        // collection and (like the P2-only evaluation) no non-P2
+        // substitution for either method.
+        let acclaim_cfg = LearnerConfig {
+            nonp2_every: None,
+            ..LearnerConfig::acclaim_sequential().with_budget(cap)
+        };
+        let acclaim = ActiveLearner::new(acclaim_cfg).train(&db, c, &space, Some(&eval));
+        let fact_cfg = LearnerConfig::fact().with_budget(cap);
+        let fact = ActiveLearner::new(fact_cfg).train(&db, c, &space, Some(&eval));
+
+        let ta = sustained_time_to(&acclaim, REPRO_SLOWDOWN, 2);
+        let tf = sustained_time_to(&fact, REPRO_SLOWDOWN, 2);
+        // Cap-limited runs that never sustain the bound are reported at
+        // their full budget time (a lower bound on the true cost).
+        let ta_v = ta.unwrap_or(acclaim.stats.wall_us);
+        let tf_v = tf.unwrap_or(fact.stats.wall_us);
+        total_acclaim += ta_v;
+        total_fact += tf_v;
+        rows.push(vec![
+            c.name().to_string(),
+            format!("{}{}", fmt_secs(ta_v), if ta.is_none() { "*" } else { "" }),
+            format!("{}{}", fmt_secs(tf_v), if tf.is_none() { "*" } else { "" }),
+            format!("{:.2}x", tf_v / ta_v),
+        ]);
+    }
+    rows.push(vec![
+        "cumulative".to_string(),
+        fmt_secs(total_acclaim),
+        fmt_secs(total_fact),
+        format!("{:.2}x", total_fact / total_acclaim),
+    ]);
+
+    let mut out = String::from(
+        "Fig. 10 — training collection time to the convergence criterion\n\
+         (sequential collection; selection methodology isolated; criterion 1.05,\n\
+         adapted from the paper's 1.03 to this substrate's noise floor)\n\n",
+    );
+    out.push_str(&table(
+        &["collective", "ACCLAiM", "FACT", "FACT/ACCLAiM"],
+        &rows,
+    ));
+    out.push_str(
+        "\n* never sustained the criterion within the budget; full budget time used.\n\
+         paper shape: ACCLAiM converges up to 2.3x faster (cumulative 2.25x); FACT is\n\
+         mildly faster on some collectives (paper: allreduce 1.37x, bcast 1.46x).\n",
+    );
+    out
+}

@@ -1,0 +1,71 @@
+//! Fig. 11 — the non-P2 training mix: all-P2 (0%), ACCLAiM's 80-20
+//! (every 5th point non-P2), and a 50-50 split, each tested on the
+//! "All P2" and "Non-P2 Message Size" bcast test sets. The 80-20 split
+//! preserves P2 performance while rescuing non-P2 performance.
+
+use crate::{simulation_env, table};
+use acclaim_collectives::Collective;
+use acclaim_core::{ActiveLearner, LearnerConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Regenerate the figure; returns the report text.
+pub fn run() -> String {
+    let (db, space) = simulation_env();
+    let collective = Collective::Bcast;
+    db.prefill(collective, &space);
+
+    let mut rng = StdRng::seed_from_u64(0x00F1_6011);
+    let all_p2 = acclaim_dataset::splits::p2_test_set(&space);
+    let nonp2_msg = acclaim_dataset::splits::nonp2_msg_test_set(&space, 3, &mut rng);
+
+    let budget = ((space.len() * 3) as f64 * 0.18) as usize;
+    let splits: [(&str, Option<usize>); 3] =
+        [("All P2", None), ("80-20 (ACCLAiM)", Some(5)), ("50-50", Some(2))];
+
+    // Single training runs are noisy; average each split over seeds.
+    let seeds = [11u64, 22, 33];
+    let mut rows = Vec::new();
+    for (name, nonp2_every) in splits {
+        let mut share = 0.0;
+        let mut p2_slow = 0.0;
+        let mut np_slow = 0.0;
+        for &seed in &seeds {
+            let cfg = LearnerConfig {
+                nonp2_every,
+                seed,
+                ..LearnerConfig::acclaim_sequential().with_budget(budget)
+            };
+            let out = ActiveLearner::new(cfg).train(&db, collective, &space, None);
+            let nonp2_samples = out
+                .collected
+                .iter()
+                .filter(|s| !s.point.msg_bytes.is_power_of_two())
+                .count();
+            share += nonp2_samples as f64 / out.collected.len() as f64;
+            p2_slow += db.average_slowdown(collective, &all_p2, |p| out.model.select(p));
+            np_slow += db.average_slowdown(collective, &nonp2_msg, |p| out.model.select(p));
+        }
+        let n = seeds.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}%", 100.0 * share / n),
+            format!("{:.3}", p2_slow / n),
+            format!("{:.3}", np_slow / n),
+        ]);
+    }
+
+    let mut out = String::from(
+        "Fig. 11 — non-P2 training-data incorporation for MPI_Bcast\n\
+         (equal training budgets; slowdown on the P2 and non-P2-message test sets)\n\n",
+    );
+    out.push_str(&table(
+        &["training split", "non-P2 share", "All-P2 set", "Non-P2-msg set"],
+        &rows,
+    ));
+    out.push_str(
+        "\npaper shape: 50-50 maximizes non-P2 performance but sacrifices P2; the 80-20\n\
+         split keeps P2 performance while dramatically improving non-P2 (the Goldilocks\n\
+         balance).\n",
+    );
+    out
+}

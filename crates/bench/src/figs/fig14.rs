@@ -1,0 +1,68 @@
+//! Fig. 14 — ACCLAiM's end-to-end training time on a Theta-flavored
+//! production slice (up to 128 nodes, 16 PPN, 1 MB messages): full
+//! pipeline with parallel collection and variance convergence. The
+//! practicality claim: minutes, not the many hours the prior art needs.
+
+use crate::{fmt_secs, table};
+use acclaim_collectives::Collective;
+use acclaim_core::{Acclaim, AcclaimConfig};
+use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace};
+
+/// The production training run backing Figs. 14 and 15: per-collective
+/// wall time in µs plus collection statistics.
+pub fn production_training() -> Vec<(Collective, f64, usize, f64, bool)> {
+    let db = BenchmarkDatabase::new(DatasetConfig::production());
+    let space = FeatureSpace::p2_production();
+    let tuning = Acclaim::new(AcclaimConfig::new(space)).tune(&db, &Collective::ALL);
+    tuning
+        .reports
+        .iter()
+        .map(|(c, o)| {
+            (
+                *c,
+                o.total_wall_us(),
+                o.stats.points,
+                o.stats.average_parallelism(),
+                o.converged,
+            )
+        })
+        .collect()
+}
+
+/// Regenerate the figure; returns the report text.
+pub fn run() -> String {
+    let results = production_training();
+    let mut rows = Vec::new();
+    let mut total = 0.0;
+    for (c, wall, points, par, converged) in &results {
+        total += wall;
+        rows.push(vec![
+            c.name().to_string(),
+            fmt_secs(*wall),
+            format!("{points}"),
+            format!("{par:.2}"),
+            if *converged { "yes" } else { "cap" }.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "total".to_string(),
+        fmt_secs(total),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+
+    let mut out = String::from(
+        "Fig. 14 — ACCLAiM training time on a 128-node production machine\n\
+         (16 PPN, messages to 1 MB; parallel collection + variance convergence)\n\n",
+    );
+    out.push_str(&table(
+        &["collective", "training time", "points", "avg parallel", "converged"],
+        &rows,
+    ));
+    out.push_str(
+        "\npaper shape: training completes in minutes per collective on the production\n\
+         machine — versus the ~24 hours estimated for the prior state of the art.\n",
+    );
+    out
+}

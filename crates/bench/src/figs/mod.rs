@@ -1,0 +1,32 @@
+//! One module per reproduced figure; each `run()` returns the report
+//! text the matching binary prints and saves under `results/`.
+
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+
+/// A figure-regeneration entry: result-file name and generator.
+pub type FigureEntry = (&'static str, fn() -> String);
+
+/// `(result-file name, regeneration function)` for every figure.
+pub const ALL: [FigureEntry; 11] = [
+    ("fig03_hunold_vs_fact", fig03::run),
+    ("fig04_nonp2_traces", fig04::run),
+    ("fig05_fact_nonp2", fig05::run),
+    ("fig06_testset_cost", fig06::run),
+    ("fig07_variance_proxy", fig07::run),
+    ("fig10_point_selection", fig10::run),
+    ("fig11_nonp2_split", fig11::run),
+    ("fig12_convergence", fig12::run),
+    ("fig13_parallel_collection", fig13::run),
+    ("fig14_production_training", fig14::run),
+    ("fig15_min_runtime", fig15::run),
+];

@@ -1,0 +1,95 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary in `src/bin/` reproduces one figure of the paper
+//! and prints the same series the paper plots; results are also written
+//! to `results/<name>.txt` at the workspace root.
+
+pub mod figs;
+
+use acclaim_core::TrainingOutcome;
+use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace};
+use std::path::PathBuf;
+
+/// The workspace-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Print `content` and also persist it under `results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let path = results_dir().join(format!("{name}.txt"));
+    std::fs::write(&path, content).expect("write result file");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// The simulated-comparison environment of Sec. II-A: a 64-node
+/// Bebop-like cluster and its P2 grid.
+pub fn simulation_env() -> (BenchmarkDatabase, FeatureSpace) {
+    (
+        BenchmarkDatabase::new(DatasetConfig::simulation()),
+        FeatureSpace::p2_simulation(),
+    )
+}
+
+/// A smaller simulation grid (32 nodes, 16 ppn, 512 KiB) for the
+/// heavier sweep figures, keeping regeneration under a few minutes.
+pub fn reduced_simulation_env() -> (BenchmarkDatabase, FeatureSpace) {
+    let db = BenchmarkDatabase::new(DatasetConfig::simulation());
+    let space = FeatureSpace::new(
+        vec![2, 4, 8, 16, 32],
+        vec![1, 2, 4, 8, 16],
+        (3..=19).map(|e| 1u64 << e).collect(),
+    );
+    (db, space)
+}
+
+/// Format seconds human-readably.
+pub fn fmt_secs(us: f64) -> String {
+    let s = us / 1e6;
+    if s >= 120.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{s:.1} s")
+    }
+}
+
+/// Render a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract the (wall time, oracle slowdown) series from a training log.
+pub fn slowdown_series(outcome: &TrainingOutcome) -> Vec<(f64, f64)> {
+    outcome
+        .log
+        .iter()
+        .filter_map(|r| r.oracle_slowdown.map(|s| (r.wall_us, s)))
+        .collect()
+}

@@ -1,0 +1,6 @@
+//! One module per subcommand; each exposes `run(&Args) -> Result<String, String>`.
+
+pub mod selections;
+pub mod simulate;
+pub mod traces;
+pub mod tune;

@@ -1,0 +1,81 @@
+//! `acclaim simulate` — price every algorithm of a collective at one
+//! point on the simulated machine (the Sec. II-B exploration, as a
+//! command).
+
+use crate::args::Args;
+use crate::context::cluster_from;
+use acclaim_collectives::{analysis, mpich_default, Collective};
+use acclaim_netsim::RoundSim;
+use std::fmt::Write;
+
+/// Run the subcommand; returns the table printed to stdout.
+pub fn run(args: &Args) -> Result<String, String> {
+    let cluster = cluster_from(args)?;
+    let collective = Collective::parse(args.get_or("collective", "bcast"))
+        .ok_or_else(|| "unknown --collective".to_string())?;
+    let ppn: u32 = args.num_or("ppn", 8)?;
+    let msg: u64 = args.num_or("msg", 65_536)?;
+    let nodes = cluster.num_nodes();
+    let ranks = nodes * ppn;
+
+    let mut sim = RoundSim::new();
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for &a in collective.algorithms() {
+        let sched = a.schedule(ranks, msg);
+        let stats = analysis::stats(sched.as_ref());
+        let t = sim.simulate(&cluster, ppn, sched.as_ref());
+        rows.push((
+            t,
+            format!(
+                "  {:<40} {:>12.1} µs   ({} rounds, {} messages)",
+                a.name(),
+                t,
+                stats.rounds,
+                stats.messages
+            ),
+        ));
+    }
+    rows.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let default = mpich_default(collective, ranks, msg);
+    let mut out = format!(
+        "{} at {nodes} nodes x {ppn} ppn, {msg} B (latency factor {}):\n",
+        collective.name(),
+        cluster.job_latency_factor
+    );
+    for (i, (_, line)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "{line}{}", if i == 0 { "   <- fastest" } else { "" });
+    }
+    let _ = writeln!(out, "MPICH default heuristic would pick: {}", default.name());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    #[test]
+    fn prices_all_algorithms_and_marks_the_winner() {
+        let args = Args::parse(
+            [
+                "simulate",
+                "--nodes",
+                "8",
+                "--ppn",
+                "2",
+                "--collective",
+                "allgather",
+                "--msg",
+                "4096",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("ring"));
+        assert!(out.contains("brucks"));
+        assert!(out.contains("<- fastest"));
+        assert!(out.contains("MPICH default"));
+    }
+}

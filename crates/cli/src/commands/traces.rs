@@ -1,0 +1,56 @@
+//! `acclaim traces` — summarize the synthetic LLNL-style application
+//! traces (the Fig. 4 data, as a command).
+
+use crate::args::Args;
+use acclaim_dataset::traces;
+use std::fmt::Write;
+
+/// Run the subcommand; returns the table printed to stdout.
+pub fn run(args: &Args) -> Result<String, String> {
+    let max_msg: u64 = args.num_or("max-msg", 1 << 20)?;
+    let mut out = String::from("application traces (synthetic, LLNL-calibrated):\n");
+    for name in traces::trace_app_names() {
+        for scale in [64u32, 1_024] {
+            match traces::synthetic_trace(name, scale, max_msg) {
+                Some(t) => {
+                    let calls: u64 = t.calls.iter().map(|c| c.count as u64).sum();
+                    let _ = writeln!(
+                        out,
+                        "  {name:<8} @{scale:>5} nodes: {:>4} call sites, {calls:>5} calls/iter, \
+                         {:>5.1}% non-P2, collectives {:?}",
+                        t.calls.len(),
+                        t.nonp2_fraction() * 100.0,
+                        t.collectives().iter().map(|c| c.name()).collect::<Vec<_>>()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {name:<8} @{scale:>5} nodes: no trace available");
+                }
+            }
+        }
+    }
+    let aggregate = traces::aggregate_nonp2_fraction(&traces::all_traces(max_msg));
+    let _ = writeln!(
+        out,
+        "  aggregate non-P2 share: {:.1}% (paper: 15.7%)",
+        aggregate * 100.0
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    #[test]
+    fn lists_all_apps_and_the_missing_trace() {
+        let args = Args::parse(["traces".to_string()]).unwrap();
+        let out = run(&args).unwrap();
+        for app in ["AMG", "Nekbone", "ParaDis", "Laghos"] {
+            assert!(out.contains(app), "{app} missing from\n{out}");
+        }
+        assert!(out.contains("no trace available"));
+        assert!(out.contains("aggregate non-P2"));
+    }
+}

@@ -1,0 +1,85 @@
+//! `acclaim tune` — the Fig. 1(b) job flow: train models for the
+//! requested collectives and write the MPICH JSON tuning file.
+
+use crate::args::Args;
+use crate::context::{cluster_from, collectives_from, database_from, maybe_save_db, space_from};
+use acclaim_core::{Acclaim, AcclaimConfig, CollectionStrategy, CriterionConfig};
+
+/// Run the subcommand; returns the report printed to stdout.
+pub fn run(args: &Args) -> Result<String, String> {
+    let cluster = cluster_from(args)?;
+    let space = space_from(args, &cluster)?;
+    let db = database_from(args, cluster)?;
+    let collectives = collectives_from(args)?;
+    let out_path = args.get_or("out", "tuning.json").to_string();
+
+    let mut config = AcclaimConfig::new(space);
+    config.learner.seed = args.num_or("seed", config.learner.seed)?;
+    if args.flag("sequential") {
+        config.learner.strategy = CollectionStrategy::Sequential;
+    }
+    if let Some(budget) = args.get_num::<usize>("budget")? {
+        config.learner.criterion = CriterionConfig::MaxPoints(budget);
+    }
+    if let Some(iters) = args.get_num::<usize>("max-iterations")? {
+        config.learner.max_iterations = iters;
+    }
+
+    let tuning = Acclaim::new(config).tune(&db, &collectives);
+    let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json())
+        .expect("tuning file serializes");
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    maybe_save_db(args, &db)?;
+
+    let mut report = String::new();
+    report.push_str(&tuning.summary());
+    report.push_str(&format!("tuning file written to {out_path}\n"));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use acclaim_core::TuningFile;
+
+    #[test]
+    fn tune_writes_a_parseable_tuning_file() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-test.json");
+        let _ = std::fs::remove_file(&out);
+        let args = Args::parse(
+            [
+                "tune",
+                "--nodes",
+                "8",
+                "--ppn",
+                "2",
+                "--max-msg",
+                "4096",
+                "--min-msg",
+                "64",
+                "--collectives",
+                "reduce",
+                "--budget",
+                "20",
+                "--max-iterations",
+                "10",
+                "--out",
+                out.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("reduce"));
+        assert!(report.contains("tuning file written"));
+        let text = std::fs::read_to_string(&out).unwrap();
+        let parsed =
+            TuningFile::from_mpich_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed.collectives.len(), 1);
+        for ctx in &parsed.collectives[0].contexts {
+            assert!(ctx.is_complete() && ctx.is_pruned());
+        }
+        std::fs::remove_file(&out).ok();
+    }
+}

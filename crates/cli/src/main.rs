@@ -1,0 +1,90 @@
+//! `acclaim` — command-line interface to the ACCLAiM collective
+//! autotuner reproduction.
+//!
+//! ```text
+//! acclaim tune       --machine theta --nodes 32 --ppn 16 --collectives bcast,allreduce \
+//!                    --out tuning.json [--db cache.json] [--budget N] [--sequential]
+//! acclaim selections --tuning tuning.json --collective bcast --nodes 16 --ppn 8
+//! acclaim simulate   --machine bebop --nodes 16 --ppn 4 --collective reduce --msg 262144
+//! acclaim traces
+//! ```
+//!
+//! `tune` runs the full Fig. 1(b) pipeline on the simulated machine and
+//! writes the MPICH-style JSON tuning file; `selections` shows what that
+//! file (or the MPICH default heuristic) picks; `simulate` prices every
+//! algorithm at one point; `traces` summarizes the synthetic
+//! application traces.
+
+mod args;
+mod commands;
+mod context;
+
+use args::Args;
+
+const USAGE: &str = "\
+usage: acclaim <command> [options]
+
+commands:
+  tune        train ACCLAiM and write an MPICH JSON tuning file
+              --machine bebop|theta  --nodes N  --ppn N  --max-msg BYTES
+              --collectives a,b,c    --out FILE [--db FILE] [--seed N]
+              [--budget POINTS] [--max-iterations N] [--sequential]
+              [--latency-factor F]
+  selections  print the selections of a tuning file (or the defaults)
+              [--tuning FILE] --collective NAME --nodes N --ppn N
+              [--min-msg B --max-msg B]
+  simulate    price every algorithm of a collective at one point
+              --machine bebop|theta --nodes N --ppn N --collective NAME
+              --msg BYTES [--latency-factor F]
+  traces      summarize the synthetic application traces [--max-msg B]
+";
+
+fn dispatch(args: Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        Some("tune") => commands::tune::run(&args),
+        Some("selections") => commands::selections::run(&args),
+        Some("simulate") => commands::simulate::run(&args),
+        Some("traces") => commands::traces::run(&args),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn main() {
+    let parsed = Args::parse(std::env::args().skip(1));
+    let outcome = parsed.and_then(dispatch);
+    match outcome {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, String> {
+        dispatch(Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.contains("unknown command"));
+        assert!(e.contains("usage:"));
+    }
+
+    #[test]
+    fn no_command_shows_usage() {
+        let e = run(&[]).unwrap_err();
+        assert!(e.starts_with("usage:"));
+    }
+
+    #[test]
+    fn traces_command_dispatches() {
+        assert!(run(&["traces"]).unwrap().contains("AMG"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Structural analysis helpers over materialized schedules.
+//!
+//! Used by tests to check collective semantics and by examples to
+//! explain why one algorithm beats another (message counts, data volume,
+//! round depth).
+
+use acclaim_netsim::{MaterializedSchedule, Schedule};
+
+/// Total payload bytes received by each rank across all rounds.
+pub fn received_bytes_per_rank(sched: &MaterializedSchedule) -> Vec<u64> {
+    let mut recv = vec![0u64; sched.num_ranks as usize];
+    for round in &sched.rounds {
+        for m in round {
+            recv[m.dst as usize] += m.bytes;
+        }
+    }
+    recv
+}
+
+/// Total payload bytes sent by each rank across all rounds.
+pub fn sent_bytes_per_rank(sched: &MaterializedSchedule) -> Vec<u64> {
+    let mut sent = vec![0u64; sched.num_ranks as usize];
+    for round in &sched.rounds {
+        for m in round {
+            sent[m.src as usize] += m.bytes;
+        }
+    }
+    sent
+}
+
+/// Number of messages sent by each rank across all rounds.
+pub fn sent_messages_per_rank(sched: &MaterializedSchedule) -> Vec<u32> {
+    let mut sent = vec![0u32; sched.num_ranks as usize];
+    for round in &sched.rounds {
+        for m in round {
+            sent[m.src as usize] += 1;
+        }
+    }
+    sent
+}
+
+/// Summary statistics of a schedule, for reporting and examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStats {
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Total messages across all rounds.
+    pub messages: u64,
+    /// Total payload bytes across all rounds.
+    pub bytes: u64,
+    /// Largest single message.
+    pub max_message_bytes: u64,
+    /// Bytes each rank copies locally after the final round.
+    pub epilogue_local_bytes: u64,
+}
+
+/// Compute [`ScheduleStats`] for any schedule without materializing it.
+pub fn stats(sched: &dyn Schedule) -> ScheduleStats {
+    let mut s = ScheduleStats {
+        rounds: 0,
+        messages: 0,
+        bytes: 0,
+        max_message_bytes: 0,
+        epilogue_local_bytes: sched.epilogue_local_bytes(),
+    };
+    sched.visit_rounds(&mut |round| {
+        s.rounds += 1;
+        s.messages += round.len() as u64;
+        for m in round {
+            s.bytes += m.bytes;
+            s.max_message_bytes = s.max_message_bytes.max(m.bytes);
+        }
+    });
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_netsim::Msg;
+
+    fn sample() -> MaterializedSchedule {
+        MaterializedSchedule::new(
+            3,
+            vec![
+                vec![Msg::data(0, 1, 10), Msg::data(0, 2, 20)],
+                vec![Msg::data(1, 2, 5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn per_rank_accounting() {
+        let s = sample();
+        assert_eq!(received_bytes_per_rank(&s), vec![0, 10, 25]);
+        assert_eq!(sent_bytes_per_rank(&s), vec![30, 5, 0]);
+        assert_eq!(sent_messages_per_rank(&s), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let st = stats(&sample());
+        assert_eq!(
+            st,
+            ScheduleStats {
+                rounds: 2,
+                messages: 3,
+                bytes: 35,
+                max_message_bytes: 20,
+                epilogue_local_bytes: 0,
+            }
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Block distribution of a message buffer over ranks.
+//!
+//! Scatter/gather-based collective algorithms divide the `m`-byte buffer
+//! into `n` per-rank blocks. MPICH distributes the remainder one byte at
+//! a time to the leading blocks, so block `i` holds
+//! `m/n + (1 if i < m % n)` bytes. Non-power-of-two message sizes make
+//! these blocks ragged, which is one of the physical reasons non-P2
+//! message sizes behave differently (Sec. III-B of the paper).
+
+/// Block layout of `total` bytes over `count` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocks {
+    total: u64,
+    count: u64,
+}
+
+impl Blocks {
+    /// Distribute `total` bytes over `count` blocks.
+    pub fn new(total: u64, count: u32) -> Self {
+        assert!(count > 0, "need at least one block");
+        Blocks {
+            total,
+            count: count as u64,
+        }
+    }
+
+    /// Bytes in block `i`.
+    #[inline]
+    pub fn size(&self, i: u32) -> u64 {
+        let i = i as u64;
+        debug_assert!(i < self.count);
+        self.total / self.count + u64::from(i < self.total % self.count)
+    }
+
+    /// Byte offset of block `i` (also valid for `i == count`, where it
+    /// equals the total size).
+    #[inline]
+    pub fn offset(&self, i: u32) -> u64 {
+        let i = i as u64;
+        debug_assert!(i <= self.count);
+        i * (self.total / self.count) + i.min(self.total % self.count)
+    }
+
+    /// Total bytes in blocks `lo..hi`.
+    #[inline]
+    pub fn range(&self, lo: u32, hi: u32) -> u64 {
+        debug_assert!(lo <= hi);
+        self.offset(hi) - self.offset(lo)
+    }
+
+    /// Total bytes.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count as u32
+    }
+
+    /// Largest block size.
+    #[inline]
+    pub fn max_size(&self) -> u64 {
+        self.total / self.count + u64::from(!self.total.is_multiple_of(self.count))
+    }
+}
+
+/// Largest power of two `<= n` (n must be positive).
+#[inline]
+pub fn prev_power_of_two(n: u32) -> u32 {
+    assert!(n > 0);
+    1 << (31 - n.leading_zeros())
+}
+
+/// `ceil(log2(n))` — the round count of binomial-tree algorithms.
+#[inline]
+pub fn ceil_log2(n: u32) -> u32 {
+    assert!(n > 0);
+    32 - (n - 1).leading_zeros()
+}
+
+/// Smallest power of two `>= n` (identity for powers of two and 0).
+///
+/// Recursive-doubling block-exchange phases assume power-of-two block
+/// sizes (MPICH's doubling recv-size bookkeeping); ragged blocks are
+/// padded up to the next power of two, which is the structural reason
+/// those algorithms "favor P2 feature values" (paper Sec. III-B).
+#[inline]
+pub fn pad_to_power_of_two(bytes: u64) -> u64 {
+    if bytes <= 1 {
+        bytes
+    } else {
+        bytes.next_power_of_two()
+    }
+}
+
+/// True when `n` is a power of two.
+#[inline]
+pub fn is_power_of_two_u64(n: u64) -> bool {
+    n > 0 && n & (n - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_distribution() {
+        let b = Blocks::new(100, 4);
+        assert_eq!((0..4).map(|i| b.size(i)).collect::<Vec<_>>(), vec![25; 4]);
+        assert_eq!(b.offset(4), 100);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_blocks() {
+        let b = Blocks::new(10, 4);
+        let sizes: Vec<u64> = (0..4).map(|i| b.size(i)).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(b.max_size(), 3);
+    }
+
+    #[test]
+    fn more_blocks_than_bytes_yields_zero_blocks() {
+        let b = Blocks::new(3, 8);
+        let sizes: Vec<u64> = (0..8).map(|i| b.size(i)).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn range_is_offset_difference() {
+        let b = Blocks::new(10, 4);
+        assert_eq!(b.range(0, 4), 10);
+        assert_eq!(b.range(1, 3), 5);
+        assert_eq!(b.range(2, 2), 0);
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(5), 4);
+        assert_eq!(prev_power_of_two(64), 64);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert!(is_power_of_two_u64(1024));
+        assert!(!is_power_of_two_u64(1000));
+        assert!(!is_power_of_two_u64(0));
+    }
+
+    proptest! {
+        #[test]
+        fn sizes_sum_to_total(total in 0u64..1_000_000, count in 1u32..200) {
+            let b = Blocks::new(total, count);
+            let sum: u64 = (0..count).map(|i| b.size(i)).sum();
+            prop_assert_eq!(sum, total);
+        }
+
+        #[test]
+        fn offsets_are_monotone_and_consistent(total in 0u64..1_000_000, count in 1u32..200) {
+            let b = Blocks::new(total, count);
+            for i in 0..count {
+                prop_assert_eq!(b.offset(i) + b.size(i), b.offset(i + 1));
+                prop_assert!(b.size(i) <= b.max_size());
+            }
+        }
+
+        #[test]
+        fn blocks_differ_by_at_most_one_byte(total in 0u64..1_000_000, count in 1u32..200) {
+            let b = Blocks::new(total, count);
+            let min = (0..count).map(|i| b.size(i)).min().unwrap();
+            let max = (0..count).map(|i| b.size(i)).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! MPICH-style static default algorithm selection.
+//!
+//! Production MPI libraries ship hard-coded message-size and
+//! communicator-size thresholds (Sec. II-B of the paper: "the most
+//! popular open source implementations … use heuristics to make
+//! selections"). These rules mirror MPICH's defaults for the ten
+//! algorithms we model; the autotuners are measured against them.
+
+use crate::blocks::is_power_of_two_u64;
+use crate::registry::{Algorithm, Collective};
+
+/// MPICH default thresholds (bytes).
+const BCAST_SHORT_MSG: u64 = 12_288;
+const BCAST_LONG_MSG: u64 = 524_288;
+const BCAST_MIN_PROCS: u32 = 8;
+const REDUCE_SHORT_MSG: u64 = 2_048;
+const ALLREDUCE_SHORT_MSG: u64 = 2_048;
+const ALLGATHER_SHORT_MSG: u64 = 81_920;
+const ALLGATHER_LONG_MSG: u64 = 524_288;
+
+/// The algorithm MPICH's default heuristic would pick.
+///
+/// `ranks` is the communicator size; `bytes` follows the same semantics
+/// as [`Algorithm::schedule`] (per-rank contribution for allgather,
+/// total payload otherwise).
+pub fn mpich_default(collective: Collective, ranks: u32, bytes: u64) -> Algorithm {
+    match collective {
+        Collective::Bcast => {
+            if bytes < BCAST_SHORT_MSG || ranks < BCAST_MIN_PROCS {
+                Algorithm::BcastBinomial
+            } else if bytes < BCAST_LONG_MSG && is_power_of_two_u64(ranks as u64) {
+                Algorithm::BcastScatterRecursiveDoublingAllgather
+            } else {
+                Algorithm::BcastScatterRingAllgather
+            }
+        }
+        Collective::Reduce => {
+            if bytes <= REDUCE_SHORT_MSG || ranks < 4 {
+                Algorithm::ReduceBinomial
+            } else {
+                Algorithm::ReduceScatterGather
+            }
+        }
+        Collective::Allreduce => {
+            if bytes <= ALLREDUCE_SHORT_MSG {
+                Algorithm::AllreduceRecursiveDoubling
+            } else {
+                Algorithm::AllreduceReduceScatterAllgather
+            }
+        }
+        Collective::Allgather => {
+            let total = bytes.saturating_mul(ranks as u64);
+            if total < ALLGATHER_SHORT_MSG && is_power_of_two_u64(ranks as u64) {
+                Algorithm::AllgatherRecursiveDoubling
+            } else if total < ALLGATHER_LONG_MSG {
+                Algorithm::AllgatherBrucks
+            } else {
+                Algorithm::AllgatherRing
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_picks_an_algorithm_of_the_right_collective() {
+        for c in Collective::ALL {
+            for ranks in [2u32, 7, 16, 100] {
+                for bytes in [1u64, 1_024, 65_536, 1 << 20] {
+                    let a = mpich_default(c, ranks, bytes);
+                    assert_eq!(a.collective(), c, "{c:?} {ranks} {bytes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_thresholds() {
+        assert_eq!(
+            mpich_default(Collective::Bcast, 64, 1_024),
+            Algorithm::BcastBinomial
+        );
+        assert_eq!(
+            mpich_default(Collective::Bcast, 64, 65_536),
+            Algorithm::BcastScatterRecursiveDoublingAllgather
+        );
+        // Non-P2 communicator falls back to the ring variant.
+        assert_eq!(
+            mpich_default(Collective::Bcast, 60, 65_536),
+            Algorithm::BcastScatterRingAllgather
+        );
+        assert_eq!(
+            mpich_default(Collective::Bcast, 64, 1 << 20),
+            Algorithm::BcastScatterRingAllgather
+        );
+        // Small communicators always take the binomial tree.
+        assert_eq!(
+            mpich_default(Collective::Bcast, 4, 1 << 20),
+            Algorithm::BcastBinomial
+        );
+    }
+
+    #[test]
+    fn reduce_thresholds() {
+        assert_eq!(
+            mpich_default(Collective::Reduce, 64, 512),
+            Algorithm::ReduceBinomial
+        );
+        assert_eq!(
+            mpich_default(Collective::Reduce, 64, 1 << 20),
+            Algorithm::ReduceScatterGather
+        );
+    }
+
+    #[test]
+    fn allreduce_thresholds() {
+        assert_eq!(
+            mpich_default(Collective::Allreduce, 16, 1_024),
+            Algorithm::AllreduceRecursiveDoubling
+        );
+        assert_eq!(
+            mpich_default(Collective::Allreduce, 16, 1 << 20),
+            Algorithm::AllreduceReduceScatterAllgather
+        );
+    }
+
+    #[test]
+    fn allgather_thresholds_use_total_size() {
+        assert_eq!(
+            mpich_default(Collective::Allgather, 16, 64),
+            Algorithm::AllgatherRecursiveDoubling
+        );
+        assert_eq!(
+            mpich_default(Collective::Allgather, 17, 64),
+            Algorithm::AllgatherBrucks,
+            "non-P2 short falls back to brucks"
+        );
+        assert_eq!(
+            mpich_default(Collective::Allgather, 64, 1 << 20),
+            Algorithm::AllgatherRing
+        );
+    }
+}

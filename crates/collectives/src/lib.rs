@@ -1,0 +1,32 @@
+//! MPICH collective algorithm substrate for the ACCLAiM reproduction.
+//!
+//! The paper tunes the four most popular MPI collectives (allgather,
+//! allreduce, bcast, reduce — Sec. II-A) over ten MPICH algorithms. This
+//! crate implements each algorithm as a *communication schedule*
+//! generator over [`acclaim_netsim`]'s simulators, plus:
+//!
+//! * [`heuristics`] — MPICH's static default selection logic, the
+//!   baseline the autotuners beat;
+//! * [`microbench`] — an OSU-style warmup+iterations measurement harness
+//!   that also accounts wall-clock collection cost;
+//! * [`analysis`] — structural schedule statistics used by tests and
+//!   examples.
+//!
+//! Message-size semantics: for allgather, `bytes` is the per-rank
+//! contribution (OSU convention); for the rooted/reduction collectives
+//! it is the total payload.
+
+pub mod allgather;
+pub mod allreduce;
+pub mod analysis;
+pub mod bcast;
+pub mod blocks;
+pub mod heuristics;
+pub mod microbench;
+pub mod reduce;
+pub mod registry;
+mod scatter;
+
+pub use heuristics::mpich_default;
+pub use microbench::{measure, Measurement, MicrobenchConfig};
+pub use registry::{Algorithm, Collective};

@@ -1,0 +1,264 @@
+//! The end-to-end ACCLAiM pipeline (paper Sec. V, Fig. 1b).
+//!
+//! A user submits a job through ACCLAiM with one extra input: the list
+//! of collectives the application predominantly uses. Before the
+//! application runs, ACCLAiM trains one model per listed collective
+//! (parallel data collection, variance convergence), writes the MPICH
+//! JSON tuning file, and the application then executes under the tuned
+//! selections. The training time is charged against the job, so the
+//! report tracks it explicitly (Fig. 14/15).
+
+use crate::learner::{ActiveLearner, LearnerConfig, TrainingOutcome};
+use crate::rules::{generate_rules, TunedSelector, TuningFile};
+use acclaim_collectives::{mpich_default, Collective};
+use acclaim_dataset::{traces::AppTrace, BenchmarkDatabase, FeatureSpace};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct AcclaimConfig {
+    /// Active-learning configuration (defaults to the paper's ACCLAiM).
+    pub learner: LearnerConfig,
+    /// The P2 grid models are trained over (bounded by the job size).
+    pub space: FeatureSpace,
+}
+
+impl AcclaimConfig {
+    /// The paper's configuration over a given feature space.
+    pub fn new(space: FeatureSpace) -> Self {
+        AcclaimConfig {
+            learner: LearnerConfig::acclaim(),
+            space,
+        }
+    }
+}
+
+/// The result of tuning one job.
+#[derive(Debug, Clone)]
+pub struct JobTuning {
+    /// The generated MPICH tuning file.
+    pub tuning_file: TuningFile,
+    /// Per-collective training outcomes, in input order.
+    pub reports: Vec<(Collective, TrainingOutcome)>,
+}
+
+impl JobTuning {
+    /// Total machine time spent training, including any test sets (µs).
+    pub fn training_wall_us(&self) -> f64 {
+        self.reports.iter().map(|(_, o)| o.total_wall_us()).sum()
+    }
+
+    /// A runtime selector over the generated file.
+    pub fn selector(&self) -> TunedSelector {
+        TunedSelector::new(self.tuning_file.clone())
+    }
+
+    /// Human-readable per-collective summary (minutes, points, waves).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (c, o) in &self.reports {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>4} points  {:>4} waves  {:>6.2} min  (parallel speedup {:.2}x, {})",
+                c.name(),
+                o.stats.points,
+                o.stats.waves,
+                o.stats.wall_us / 60e6,
+                o.stats.speedup(),
+                if o.converged { "converged" } else { "budget hit" },
+            );
+        }
+        let _ = writeln!(
+            s,
+            "total training time: {:.2} min",
+            self.training_wall_us() / 60e6
+        );
+        s
+    }
+}
+
+/// The ACCLAiM autotuner.
+#[derive(Debug, Clone)]
+pub struct Acclaim {
+    config: AcclaimConfig,
+}
+
+impl Acclaim {
+    /// An autotuner with the given configuration.
+    pub fn new(config: AcclaimConfig) -> Self {
+        Acclaim { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcclaimConfig {
+        &self.config
+    }
+
+    /// Train models for the user's collective list and emit the tuning
+    /// file. `db` stands in for the job's allocation: its cluster is
+    /// where the microbenchmarks run.
+    pub fn tune(&self, db: &BenchmarkDatabase, collectives: &[Collective]) -> JobTuning {
+        assert!(!collectives.is_empty(), "the user must list collectives");
+        let learner = ActiveLearner::new(self.config.learner.clone());
+        let mut reports = Vec::with_capacity(collectives.len());
+        let mut tables = Vec::with_capacity(collectives.len());
+        for &c in collectives {
+            let outcome = learner.train(db, c, &self.config.space, None);
+            tables.push(generate_rules(&outcome.model, &self.config.space));
+            reports.push((c, outcome));
+        }
+        JobTuning {
+            tuning_file: TuningFile {
+                collectives: tables,
+            },
+            reports,
+        }
+    }
+}
+
+/// Application-level effect of a tuning (used by the examples and
+/// Fig. 15): per-iteration collective time under the MPICH defaults vs.
+/// the tuned selections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplicationImpact {
+    /// Collective time per iteration under the default heuristic (µs).
+    pub default_us: f64,
+    /// Collective time per iteration under the tuned selections (µs).
+    pub tuned_us: f64,
+}
+
+impl ApplicationImpact {
+    /// Collective-phase speedup from tuning.
+    pub fn collective_speedup(&self) -> f64 {
+        self.default_us / self.tuned_us
+    }
+
+    /// Whole-application speedup when collectives are `fraction` of the
+    /// untuned runtime (Amdahl).
+    pub fn app_speedup(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        let saved = fraction * (1.0 - self.tuned_us / self.default_us);
+        1.0 / (1.0 - saved)
+    }
+}
+
+/// Measure a tuning's impact on an application trace at a job shape.
+pub fn application_impact(
+    db: &BenchmarkDatabase,
+    trace: &AppTrace,
+    nodes: u32,
+    ppn: u32,
+    selector: &TunedSelector,
+) -> ApplicationImpact {
+    let default_us = trace.collective_time_per_iteration(db, nodes, ppn, |c, p| {
+        mpich_default(c, p.ranks(), p.msg_bytes)
+    });
+    let tuned_us =
+        trace.collective_time_per_iteration(db, nodes, ppn, |c, p| selector.select(c, p));
+    ApplicationImpact {
+        default_us,
+        tuned_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::VarianceConvergence;
+    use crate::learner::{CollectionStrategy, CriterionConfig, SelectionPolicy};
+    use acclaim_dataset::DatasetConfig;
+    use acclaim_ml::ForestConfig;
+
+    fn fast_config() -> AcclaimConfig {
+        AcclaimConfig {
+            learner: LearnerConfig {
+                forest: ForestConfig {
+                    n_trees: 16,
+                    ..ForestConfig::for_n_features(4)
+                },
+                policy: SelectionPolicy::OwnVariance,
+                strategy: CollectionStrategy::Parallel,
+                criterion: CriterionConfig::CumulativeVariance(VarianceConvergence::relative(
+                    3, 0.1,
+                )),
+                nonp2_every: Some(5),
+                explore_every: None,
+                max_iterations: 40,
+                seed: 5,
+            },
+            space: FeatureSpace::tiny(),
+        }
+    }
+
+    #[test]
+    fn tune_produces_a_table_per_collective() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let tuning = Acclaim::new(fast_config())
+            .tune(&db, &[Collective::Bcast, Collective::Reduce]);
+        assert_eq!(tuning.reports.len(), 2);
+        assert_eq!(tuning.tuning_file.collectives.len(), 2);
+        assert!(tuning.training_wall_us() > 0.0);
+        let summary = tuning.summary();
+        assert!(summary.contains("bcast") && summary.contains("reduce"));
+    }
+
+    #[test]
+    fn tuned_selector_answers_for_tuned_and_untuned_collectives() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let tuning = Acclaim::new(fast_config()).tune(&db, &[Collective::Bcast]);
+        let sel = tuning.selector();
+        let p = acclaim_dataset::Point::new(4, 2, 1_024);
+        assert_eq!(sel.select(Collective::Bcast, p).collective(), Collective::Bcast);
+        // Untuned collective falls back to the heuristic.
+        assert_eq!(
+            sel.select(Collective::Allgather, p),
+            mpich_default(Collective::Allgather, p.ranks(), p.msg_bytes)
+        );
+    }
+
+    #[test]
+    fn tuned_selections_do_not_lose_to_defaults() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let space = FeatureSpace::tiny();
+        let tuning = Acclaim::new(fast_config()).tune(&db, &[Collective::Bcast]);
+        let sel = tuning.selector();
+        let pts = space.points();
+        let tuned = db.average_slowdown(Collective::Bcast, &pts, |p| {
+            sel.select(Collective::Bcast, p)
+        });
+        let default = db.average_slowdown(Collective::Bcast, &pts, |p| {
+            mpich_default(Collective::Bcast, p.ranks(), p.msg_bytes)
+        });
+        // The tiny space trains in a handful of waves with a loose
+        // criterion; allow a modest margin over the (often already
+        // optimal) default.
+        assert!(
+            tuned <= default + 0.08,
+            "tuned {tuned} should not lose to default {default}"
+        );
+    }
+
+    #[test]
+    fn application_impact_math() {
+        let i = ApplicationImpact {
+            default_us: 200.0,
+            tuned_us: 100.0,
+        };
+        assert_eq!(i.collective_speedup(), 2.0);
+        // 50% of runtime in collectives, halved: saves 25% => 1.333x.
+        assert!((i.app_speedup(0.5) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(i.app_speedup(0.0), 1.0);
+    }
+
+    #[test]
+    fn application_impact_runs_on_a_trace() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let tuning = Acclaim::new(fast_config())
+            .tune(&db, &[Collective::Allreduce, Collective::Bcast]);
+        let trace = acclaim_dataset::traces::synthetic_trace("AMG", 64, 4_096).unwrap();
+        let impact = application_impact(&db, &trace, 8, 2, &tuning.selector());
+        assert!(impact.default_us > 0.0 && impact.tuned_us > 0.0);
+        // The tuned selection can't be catastrophically worse.
+        assert!(impact.collective_speedup() > 0.8);
+    }
+}

@@ -1,0 +1,247 @@
+//! Topology-aware parallel data collection (paper Sec. IV-D).
+//!
+//! Previous autotuners benchmark points one at a time to avoid network
+//! congestion. ACCLAiM instead packs multiple benchmarks onto disjoint
+//! congestion domains of the job's allocation with a greedy algorithm:
+//!
+//! 1. take the highest-variance uncollected point `p` needing `n` nodes;
+//! 2. try to place it on the next `n` *sequential* unused nodes;
+//! 3. on success, mark those nodes — and any remaining nodes in the same
+//!    racks — as used, and repeat;
+//! 4. on the first failure, stop and run the scheduled wave in parallel.
+//!
+//! Disallowing shared racks prevents layer-1 congestion; sequential
+//! placement prevents two runs from straddling the same rack pair
+//! (layer 2). Only the fat layer-3 links may see incidental sharing.
+
+use crate::selection::Candidate;
+use acclaim_netsim::{Allocation, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark placed within a wave.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index into the priority-ordered candidate list handed to the
+    /// scheduler.
+    pub candidate_index: usize,
+    /// First logical node of the run.
+    pub start_node: u32,
+    /// Node count of the run.
+    pub node_count: u32,
+}
+
+/// A set of benchmarks that run concurrently.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Wave {
+    /// The placements in scheduling order.
+    pub placements: Vec<Placement>,
+}
+
+impl Wave {
+    /// Number of benchmarks running in parallel.
+    pub fn parallelism(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+/// Schedule one wave over `allocation` from a priority-ordered candidate
+/// list (highest variance first). Returns an empty wave only when
+/// `ordered` is empty.
+///
+/// Panics if the first candidate needs more nodes than the whole
+/// allocation (the feature space must be bounded by the job size).
+pub fn schedule_wave(
+    topology: &Topology,
+    allocation: &Allocation,
+    ordered: &[Candidate],
+) -> Wave {
+    let total = allocation.len();
+    let mut wave = Wave::default();
+    let mut next_free: u32 = 0;
+
+    for (idx, cand) in ordered.iter().enumerate() {
+        let n = cand.point.nodes;
+        assert!(
+            n <= total,
+            "candidate needs {n} nodes but the job holds {total}"
+        );
+        if next_free + n > total {
+            break; // paper step 4: first misfit ends the wave
+        }
+        wave.placements.push(Placement {
+            candidate_index: idx,
+            start_node: next_free,
+            node_count: n,
+        });
+        next_free += n;
+        // Step 3: burn the rest of every rack the run touched.
+        if next_free < total {
+            let last_rack = topology.rack_of(allocation.node(next_free - 1));
+            while next_free < total && topology.rack_of(allocation.node(next_free)) == last_rack
+            {
+                next_free += 1;
+            }
+        }
+    }
+    wave
+}
+
+/// Wall-clock statistics of a collection run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Total wall time (µs): sum of per-wave maxima for parallel
+    /// collection, plain sum for sequential.
+    pub wall_us: f64,
+    /// Wall time the same points would cost sequentially.
+    pub sequential_wall_us: f64,
+    /// Number of waves executed.
+    pub waves: usize,
+    /// Number of points collected.
+    pub points: usize,
+}
+
+impl CollectionStats {
+    /// Speedup of parallel collection over sequential (≥ 1 in theory;
+    /// greedy choices can occasionally lose, see Fig. 13's discussion).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_us == 0.0 {
+            1.0
+        } else {
+            self.sequential_wall_us / self.wall_us
+        }
+    }
+
+    /// Mean benchmarks per wave.
+    pub fn average_parallelism(&self) -> f64 {
+        if self.waves == 0 {
+            0.0
+        } else {
+            self.points as f64 / self.waves as f64
+        }
+    }
+
+    /// Fold one wave's point costs (µs) into the statistics.
+    pub fn add_wave(&mut self, costs: &[f64]) {
+        assert!(!costs.is_empty(), "waves cannot be empty");
+        self.wall_us += costs.iter().copied().fold(f64::MIN, f64::max);
+        self.sequential_wall_us += costs.iter().sum::<f64>();
+        self.waves += 1;
+        self.points += costs.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_collectives::Algorithm;
+    use acclaim_dataset::Point;
+
+    fn cand(nodes: u32) -> Candidate {
+        Candidate {
+            point: Point::new(nodes, 1, 1_024),
+            algorithm: Algorithm::BcastBinomial,
+        }
+    }
+
+    /// 4 racks of 4 nodes.
+    fn topo() -> Topology {
+        Topology::new(4, 4)
+    }
+
+    #[test]
+    fn single_rack_allocation_runs_one_benchmark_per_wave() {
+        let t = Topology::new(16, 4);
+        let alloc = Allocation::single_rack(&t, 16);
+        let w = schedule_wave(&t, &alloc, &[cand(2), cand(2), cand(2)]);
+        // First run takes 2 nodes and burns the rest of the rack.
+        assert_eq!(w.parallelism(), 1);
+    }
+
+    #[test]
+    fn separate_racks_host_parallel_benchmarks() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 16); // all 4 racks
+        let w = schedule_wave(&t, &alloc, &[cand(2), cand(2), cand(2), cand(2), cand(2)]);
+        // Each 2-node run burns its 4-node rack: 4 racks -> 4 runs.
+        assert_eq!(w.parallelism(), 4);
+        // Runs land on distinct racks.
+        let racks: Vec<u32> = w
+            .placements
+            .iter()
+            .map(|p| t.rack_of(alloc.node(p.start_node)))
+            .collect();
+        let set: std::collections::HashSet<u32> = racks.iter().copied().collect();
+        assert_eq!(set.len(), racks.len(), "no two runs share a rack");
+    }
+
+    #[test]
+    fn exact_rack_fill_does_not_burn_the_next_rack() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 16);
+        let w = schedule_wave(&t, &alloc, &[cand(4), cand(4), cand(4), cand(4)]);
+        assert_eq!(w.parallelism(), 4);
+        assert_eq!(
+            w.placements.iter().map(|p| p.start_node).collect::<Vec<_>>(),
+            vec![0, 4, 8, 12]
+        );
+    }
+
+    #[test]
+    fn multi_rack_run_blocks_its_racks() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 16);
+        // 6-node run spans racks 0 and 1; the rest of rack 1 burns, so
+        // the next run starts at rack 2 and the third fills rack 3.
+        let w = schedule_wave(&t, &alloc, &[cand(6), cand(4), cand(4)]);
+        assert_eq!(w.parallelism(), 3);
+        assert_eq!(w.placements[1].start_node, 8, "next run starts at rack 2");
+        assert_eq!(w.placements[2].start_node, 12);
+    }
+
+    #[test]
+    fn first_misfit_ends_the_wave_even_if_later_points_fit() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 16);
+        // 8-node run (racks 0-1), then a 12-node run cannot fit (only
+        // 8 nodes remain) — the wave stops, ignoring the fitting 4-node
+        // candidate behind it (greedy per the paper).
+        let w = schedule_wave(&t, &alloc, &[cand(8), cand(12), cand(4)]);
+        assert_eq!(w.parallelism(), 1);
+    }
+
+    #[test]
+    fn max_parallel_allocation_hosts_many_single_node_runs() {
+        let t = Topology::new(4, 8);
+        let alloc = Allocation::max_parallel(&t, 4);
+        let w = schedule_wave(&t, &alloc, &[cand(1), cand(1), cand(1), cand(1)]);
+        assert_eq!(w.parallelism(), 4, "distinct pairs never conflict");
+    }
+
+    #[test]
+    #[should_panic(expected = "job holds")]
+    fn oversized_candidate_rejected() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 8);
+        schedule_wave(&t, &alloc, &[cand(9)]);
+    }
+
+    #[test]
+    fn empty_candidates_empty_wave() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 8);
+        assert_eq!(schedule_wave(&t, &alloc, &[]).parallelism(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_speedup_and_parallelism() {
+        let mut s = CollectionStats::default();
+        s.add_wave(&[10.0, 6.0]);
+        s.add_wave(&[4.0]);
+        assert_eq!(s.wall_us, 14.0);
+        assert_eq!(s.sequential_wall_us, 20.0);
+        assert_eq!(s.waves, 2);
+        assert_eq!(s.points, 3);
+        assert!((s.speedup() - 20.0 / 14.0).abs() < 1e-12);
+        assert!((s.average_parallelism() - 1.5).abs() < 1e-12);
+    }
+}

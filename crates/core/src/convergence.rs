@@ -1,0 +1,182 @@
+//! Convergence criteria (paper Sec. III-C and IV-C).
+//!
+//! The previous state of the art stops training when *average slowdown*
+//! on a held-out test set drops to 1.03 — but collecting that test set
+//! costs 6–11x the training data itself (Fig. 6). ACCLAiM replaces it
+//! with a free signal: the cumulative jackknife variance over all
+//! candidates, declaring convergence when four consecutive iterations
+//! change it by less than a threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// Test-set-free convergence on cumulative variance (Sec. IV-C).
+///
+/// The paper uses an absolute threshold of 1e-9 tuned to its machines;
+/// our variance lives in log-time space with a different scale, so the
+/// detector supports both absolute and relative thresholds (relative is
+/// the default and is scale-free).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarianceConvergence {
+    /// Consecutive small-change iterations required (the paper uses 4).
+    pub window: usize,
+    /// Change threshold.
+    pub epsilon: f64,
+    /// Interpret `epsilon` relative to the current variance magnitude.
+    pub relative: bool,
+    streak: usize,
+    last: Option<f64>,
+}
+
+impl VarianceConvergence {
+    /// Relative-threshold detector (scale-free).
+    pub fn relative(window: usize, epsilon: f64) -> Self {
+        assert!(window >= 1 && epsilon > 0.0);
+        VarianceConvergence {
+            window,
+            epsilon,
+            relative: true,
+            streak: 0,
+            last: None,
+        }
+    }
+
+    /// Absolute-threshold detector (the paper's 1e-9 form).
+    pub fn absolute(window: usize, epsilon: f64) -> Self {
+        assert!(window >= 1 && epsilon > 0.0);
+        VarianceConvergence {
+            window,
+            epsilon,
+            relative: false,
+            streak: 0,
+            last: None,
+        }
+    }
+
+    /// The paper's configuration adapted to this codebase's scale.
+    pub fn paper_default() -> Self {
+        VarianceConvergence::relative(4, 0.02)
+    }
+
+    /// Record one iteration's cumulative variance; returns true once the
+    /// window of consecutive small changes is full.
+    pub fn push(&mut self, cumulative_variance: f64) -> bool {
+        if let Some(last) = self.last {
+            let delta = (cumulative_variance - last).abs();
+            let bound = if self.relative {
+                self.epsilon * last.abs().max(f64::MIN_POSITIVE)
+            } else {
+                self.epsilon
+            };
+            if delta < bound {
+                self.streak += 1;
+            } else {
+                self.streak = 0;
+            }
+        }
+        self.last = Some(cumulative_variance);
+        self.converged()
+    }
+
+    /// True once convergence has been declared.
+    pub fn converged(&self) -> bool {
+        self.streak >= self.window
+    }
+
+    /// Reset the detector for a new training run.
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.last = None;
+    }
+}
+
+/// Test-set convergence on average slowdown (the previous state of the
+/// art, Sec. II-C-2): stop when slowdown ≤ `threshold` (1.03).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownThreshold {
+    /// Convergence bound on average slowdown.
+    pub threshold: f64,
+}
+
+impl SlowdownThreshold {
+    /// The paper's 1.03 criterion.
+    pub fn paper_default() -> Self {
+        SlowdownThreshold {
+            threshold: acclaim_ml::CONVERGENCE_SLOWDOWN,
+        }
+    }
+
+    /// Is this measured slowdown converged?
+    pub fn check(&self, average_slowdown: f64) -> bool {
+        average_slowdown <= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_after_window_of_flat_values() {
+        let mut c = VarianceConvergence::absolute(4, 1e-3);
+        assert!(!c.push(1.0));
+        assert!(!c.push(1.0)); // streak 1
+        assert!(!c.push(1.0)); // 2
+        assert!(!c.push(1.0)); // 3
+        assert!(c.push(1.0)); // 4 -> converged
+        assert!(c.converged());
+    }
+
+    #[test]
+    fn big_change_resets_the_streak() {
+        let mut c = VarianceConvergence::absolute(2, 1e-3);
+        assert!(!c.push(1.0));
+        assert!(!c.push(1.0)); // streak 1
+        assert!(!c.push(2.0)); // reset
+        assert!(!c.push(2.0)); // streak 1
+        assert!(c.push(2.0)); // streak 2 -> converged
+    }
+
+    #[test]
+    fn relative_threshold_scales_with_magnitude() {
+        let mut c = VarianceConvergence::relative(1, 0.01);
+        assert!(!c.push(1000.0));
+        // A change of 5 is 0.5% of 1000: converged.
+        assert!(c.push(1005.0));
+
+        let mut d = VarianceConvergence::relative(1, 0.01);
+        assert!(!d.push(1.0));
+        // The same absolute change of 5 is 500% of 1: not converged.
+        assert!(!d.push(6.0));
+    }
+
+    #[test]
+    fn decreasing_variance_converges_once_flat() {
+        let mut c = VarianceConvergence::relative(3, 0.05);
+        // Deltas: reset, reset, reset, 1%, 0.5%, 0.1% -> streak fills at
+        // the third consecutive small change (index 6).
+        let series = [10.0, 5.0, 2.0, 1.0, 0.99, 0.985, 0.984, 0.984];
+        let converged_at = series
+            .iter()
+            .position(|&v| c.push(v))
+            .expect("series flattens");
+        assert_eq!(converged_at, 6);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut c = VarianceConvergence::absolute(1, 1e-3);
+        assert!(!c.push(1.0));
+        assert!(c.push(1.0));
+        c.reset();
+        assert!(!c.converged());
+        assert!(!c.push(1.0), "no prior value after reset");
+    }
+
+    #[test]
+    fn slowdown_threshold_checks() {
+        let s = SlowdownThreshold::paper_default();
+        assert!(s.check(1.0));
+        assert!(s.check(1.03));
+        assert!(!s.check(1.031));
+    }
+}

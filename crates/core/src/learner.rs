@@ -1,0 +1,679 @@
+//! The active-learning training loop (paper Fig. 2b).
+//!
+//! One loop serves ACCLAiM and both prior-art baselines through a
+//! [`SelectionPolicy`]:
+//!
+//! * [`SelectionPolicy::OwnVariance`] — ACCLAiM: rank candidates by the
+//!   *primary* model's jackknife variance (Sec. IV-A).
+//! * [`SelectionPolicy::SurrogateVariance`] — FACT: a second, separately
+//!   seeded surrogate forest picks points (emulating DeepHyper), with
+//!   batched exploration among the top-k — selections tuned to the
+//!   surrogate, not the deployed model (Sec. III-A).
+//! * [`SelectionPolicy::Random`] — Hunold et al.: random sampling.
+//!
+//! Collection is sequential or wave-parallel (Sec. IV-D), convergence is
+//! cumulative-variance (Sec. IV-C), test-set slowdown (prior art), or a
+//! fixed point budget (for sweeps).
+
+use crate::collector::{schedule_wave, CollectionStats};
+use crate::convergence::{SlowdownThreshold, VarianceConvergence};
+use crate::model::{PerfModel, TrainingSample};
+use crate::selection::{all_candidates, rank_by_variance, Candidate, NonP2Injector};
+use acclaim_collectives::Collective;
+use acclaim_dataset::{splits, BenchmarkDatabase, FeatureSpace, Point};
+use acclaim_ml::ForestConfig;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How the next training point is chosen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// ACCLAiM: argmax jackknife variance of the primary model.
+    OwnVariance,
+    /// FACT: a surrogate forest ranks candidates; pick uniformly among
+    /// its `top_k` (DeepHyper-style asynchronous batch exploration), and
+    /// the surrogate is only retrained every `refresh` iterations (batch
+    /// staleness — selections lag the data, and are tuned to the
+    /// surrogate rather than the deployed model).
+    SurrogateVariance {
+        /// Surrogate forest hyperparameters.
+        surrogate: ForestConfig,
+        /// Exploration width.
+        top_k: usize,
+        /// Iterations between surrogate retrains.
+        refresh: usize,
+    },
+    /// Hunold et al.: uniformly random uncollected candidate.
+    Random,
+}
+
+/// Sequential or topology-aware parallel collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectionStrategy {
+    /// One benchmark at a time (prior art).
+    Sequential,
+    /// Greedy wave scheduling over disjoint congestion domains.
+    Parallel,
+}
+
+/// When to stop training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CriterionConfig {
+    /// ACCLAiM: cumulative-variance plateau, no test set.
+    CumulativeVariance(VarianceConvergence),
+    /// Prior art: average slowdown on a freshly collected test set
+    /// (whose collection cost is charged to `test_wall_us`).
+    TestSlowdown {
+        /// Slowdown bound (the paper's 1.03).
+        threshold: SlowdownThreshold,
+        /// Fraction of the feature space benchmarked as the test set
+        /// (the paper reports 20%).
+        test_fraction: f64,
+    },
+    /// Fixed budget of collected points (for sweep experiments).
+    MaxPoints(usize),
+}
+
+/// Complete learner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Primary forest hyperparameters.
+    pub forest: ForestConfig,
+    /// Point-selection policy.
+    pub policy: SelectionPolicy,
+    /// Collection strategy.
+    pub strategy: CollectionStrategy,
+    /// Stop criterion.
+    pub criterion: CriterionConfig,
+    /// Substitute every N-th point with a non-P2 message size
+    /// (ACCLAiM uses `Some(5)`; prior art `None`).
+    pub nonp2_every: Option<usize>,
+    /// Guided sampling (the paper's Sec. I contribution wording):
+    /// every N-th selection is drawn uniformly from the uncollected
+    /// candidates instead of by variance. Random forests report
+    /// unwarranted confidence in regions they interpolate smoothly but
+    /// wrongly; a stratified random draw keeps such regions from
+    /// starving. `None` disables exploration.
+    pub explore_every: Option<usize>,
+    /// Hard iteration cap (safety net).
+    pub max_iterations: usize,
+    /// RNG seed for seeding, exploration, and non-P2 draws.
+    pub seed: u64,
+}
+
+impl LearnerConfig {
+    /// ACCLAiM as evaluated in Sec. VI: own-model variance selection,
+    /// every-5th non-P2 substitution, parallel collection, cumulative-
+    /// variance convergence.
+    pub fn acclaim() -> Self {
+        LearnerConfig {
+            forest: ForestConfig::for_n_features(4),
+            policy: SelectionPolicy::OwnVariance,
+            strategy: CollectionStrategy::Parallel,
+            criterion: CriterionConfig::CumulativeVariance(VarianceConvergence::paper_default()),
+            nonp2_every: Some(5),
+            explore_every: Some(4),
+            max_iterations: 400,
+            seed: 0xACC,
+        }
+    }
+
+    /// ACCLAiM with sequential collection (used to isolate the point-
+    /// selection contribution in Fig. 10).
+    pub fn acclaim_sequential() -> Self {
+        LearnerConfig {
+            strategy: CollectionStrategy::Sequential,
+            ..LearnerConfig::acclaim()
+        }
+    }
+
+    /// The FACT baseline: surrogate-driven selection, P2 only,
+    /// sequential collection, test-set slowdown convergence.
+    pub fn fact() -> Self {
+        LearnerConfig {
+            forest: ForestConfig::for_n_features(4),
+            policy: SelectionPolicy::SurrogateVariance {
+                surrogate: ForestConfig {
+                    n_trees: 24,
+                    seed: 0xFAC7,
+                    ..ForestConfig::for_n_features(4)
+                },
+                top_k: 8,
+                refresh: 5,
+            },
+            strategy: CollectionStrategy::Sequential,
+            criterion: CriterionConfig::TestSlowdown {
+                threshold: SlowdownThreshold::paper_default(),
+                test_fraction: 0.2,
+            },
+            nonp2_every: None,
+            explore_every: None,
+            max_iterations: 400,
+            seed: 0xFAC7,
+        }
+    }
+
+    /// Replace the stop criterion with a fixed point budget.
+    pub fn with_budget(mut self, points: usize) -> Self {
+        self.criterion = CriterionConfig::MaxPoints(points);
+        self
+    }
+}
+
+/// One iteration's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration number (0 = after seeding).
+    pub iteration: usize,
+    /// Training samples collected so far.
+    pub samples: usize,
+    /// Cumulative training-data collection wall time (µs), excluding
+    /// any test set.
+    pub wall_us: f64,
+    /// Cumulative jackknife variance over the remaining candidates.
+    pub cumulative_variance: f64,
+    /// Average slowdown on the caller's evaluation set (oracle quality,
+    /// free of charge), if one was provided.
+    pub oracle_slowdown: Option<f64>,
+    /// Benchmarks executed in parallel in the wave that *preceded* this
+    /// record (0 for the seeding record).
+    pub wave_parallelism: usize,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The final fitted model.
+    pub model: PerfModel,
+    /// Per-iteration log.
+    pub log: Vec<IterationRecord>,
+    /// Every collected training sample, in collection order.
+    pub collected: Vec<TrainingSample>,
+    /// Whether the configured criterion fired (vs. hitting the cap).
+    pub converged: bool,
+    /// Collection statistics (training points only).
+    pub stats: CollectionStats,
+    /// Wall time spent collecting the test set, when the criterion
+    /// required one (µs).
+    pub test_wall_us: f64,
+}
+
+impl TrainingOutcome {
+    /// Total machine time consumed: training + test collection (µs).
+    pub fn total_wall_us(&self) -> f64 {
+        self.stats.wall_us + self.test_wall_us
+    }
+
+    /// The first record whose oracle slowdown is at or below `bound`,
+    /// if oracle evaluation was enabled — used to compare methodologies
+    /// at the paper's 1.03 criterion regardless of their own stop rule.
+    pub fn time_to_slowdown(&self, bound: f64) -> Option<f64> {
+        self.log
+            .iter()
+            .find(|r| r.oracle_slowdown.is_some_and(|s| s <= bound))
+            .map(|r| r.wall_us)
+    }
+}
+
+/// The active learner.
+#[derive(Debug, Clone)]
+pub struct ActiveLearner {
+    config: LearnerConfig,
+}
+
+impl ActiveLearner {
+    /// A learner with the given configuration.
+    pub fn new(config: LearnerConfig) -> Self {
+        assert!(config.max_iterations >= 1);
+        ActiveLearner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// Train a model for `collective` over the P2 grid `space`, drawing
+    /// measurements from `db`. `eval_points` enables free oracle
+    /// tracking in the log (used by the figure harnesses; a real
+    /// deployment has no oracle).
+    pub fn train(
+        &self,
+        db: &BenchmarkDatabase,
+        collective: Collective,
+        space: &FeatureSpace,
+        eval_points: Option<&[Point]>,
+    ) -> TrainingOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let candidates = all_candidates(collective, space);
+        assert!(
+            space.max_nodes() <= db.config().cluster.num_nodes(),
+            "feature space exceeds the job allocation"
+        );
+
+        let mut remaining: Vec<Candidate> = candidates.clone();
+        let mut collected_set: HashSet<Candidate> = HashSet::new();
+        let mut collected: Vec<TrainingSample> = Vec::new();
+        let mut stats = CollectionStats::default();
+        let mut injector = cfg.nonp2_every.map(NonP2Injector::new);
+
+        // Criterion state.
+        let mut variance_conv = match &cfg.criterion {
+            CriterionConfig::CumulativeVariance(v) => Some(v.clone()),
+            _ => None,
+        };
+        let (test_points, test_wall_us, slowdown_threshold, budget) = match &cfg.criterion {
+            CriterionConfig::TestSlowdown {
+                threshold,
+                test_fraction,
+            } => {
+                let pts = splits::random_fraction(space, *test_fraction, &mut rng);
+                // Benchmark every algorithm at every test point; the
+                // paper's Fig. 6 charges this cost explicitly.
+                let mut cost = 0.0;
+                for &p in &pts {
+                    for &a in collective.algorithms() {
+                        cost += db.sample(a, p).wall_us;
+                    }
+                }
+                (Some(pts), cost, Some(*threshold), usize::MAX)
+            }
+            CriterionConfig::MaxPoints(n) => (None, 0.0, None, *n),
+            CriterionConfig::CumulativeVariance(_) => (None, 0.0, None, usize::MAX),
+        };
+
+        // Seed: the corners of the feature-space box, per algorithm.
+        // Random forests cannot extrapolate — outside the convex hull of
+        // the samples every tree lands in the same boundary leaf, so the
+        // jackknife reports (unwarranted) confidence and variance-driven
+        // selection never looks there. Sampling the 8 corners first
+        // bounds the hull and is the standard space-filling
+        // initialization for active learning.
+        let seed_points: Vec<Candidate> = {
+            let corner = |v: &[u32]| [v[0], *v.last().expect("non-empty axis")];
+            let nodes = corner(&space.nodes);
+            let ppns = corner(&space.ppns);
+            let msgs = [
+                space.msg_sizes[0],
+                *space.msg_sizes.last().expect("non-empty axis"),
+            ];
+            let mut seeds = Vec::new();
+            for &a in collective.algorithms() {
+                for &n in &nodes {
+                    for &p in &ppns {
+                        for &m in &msgs {
+                            let c = Candidate {
+                                point: Point::new(n, p, m),
+                                algorithm: a,
+                            };
+                            if !seeds.contains(&c) {
+                                seeds.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            seeds
+        };
+        let mut pending = seed_points;
+        while !pending.is_empty() {
+            let wave: Vec<Candidate> = match cfg.strategy {
+                CollectionStrategy::Sequential => vec![pending.remove(0)],
+                CollectionStrategy::Parallel => {
+                    let cluster = &db.config().cluster;
+                    let w = schedule_wave(&cluster.topology, &cluster.allocation, &pending);
+                    // The greedy scheduler consumes a prefix of the list.
+                    pending.drain(..w.parallelism().max(1)).collect()
+                }
+            };
+            let mut costs = Vec::with_capacity(wave.len());
+            for c in wave {
+                let s = db.sample(c.algorithm, c.point);
+                collected.push(TrainingSample {
+                    point: c.point,
+                    algorithm: c.algorithm,
+                    time_us: s.mean_us,
+                });
+                collected_set.insert(c);
+                costs.push(s.wall_us);
+            }
+            stats.add_wave(&costs);
+        }
+        remaining.retain(|c| !collected_set.contains(c));
+
+        let mut log: Vec<IterationRecord> = Vec::new();
+        let mut converged = false;
+        let mut last_parallelism = 0usize;
+        let mut explore_counter = 0usize;
+        let mut surrogate_order: Vec<Candidate> = Vec::new();
+        let mut surrogate_age = 0usize;
+
+        for iteration in 0..cfg.max_iterations {
+            let model = PerfModel::fit(collective, &collected, &cfg.forest);
+
+            // Primary-model ranking always feeds the convergence signal;
+            // the *selection* order depends on the policy.
+            let primary_ranking = rank_by_variance(&model, &remaining);
+            let oracle_slowdown = eval_points
+                .map(|pts| db.average_slowdown(collective, pts, |p| model.select(p)));
+            log.push(IterationRecord {
+                iteration,
+                samples: collected.len(),
+                wall_us: stats.wall_us,
+                cumulative_variance: primary_ranking.cumulative,
+                oracle_slowdown,
+                wave_parallelism: last_parallelism,
+            });
+
+            // Stop checks.
+            if collected.len() >= budget {
+                converged = matches!(cfg.criterion, CriterionConfig::MaxPoints(_));
+                break;
+            }
+            if let Some(v) = variance_conv.as_mut() {
+                if v.push(primary_ranking.cumulative) {
+                    converged = true;
+                    break;
+                }
+            }
+            if let (Some(th), Some(pts)) = (slowdown_threshold, test_points.as_ref()) {
+                let s = db.average_slowdown(collective, pts, |p| model.select(p));
+                if th.check(s) {
+                    converged = true;
+                    break;
+                }
+            }
+            if remaining.is_empty() {
+                break;
+            }
+
+            // Selection order for this iteration.
+            let mut ordered: Vec<Candidate> = match &cfg.policy {
+                SelectionPolicy::OwnVariance => {
+                    primary_ranking.ranked.iter().map(|&(c, _)| c).collect()
+                }
+                SelectionPolicy::SurrogateVariance {
+                    surrogate,
+                    top_k,
+                    refresh,
+                } => {
+                    let refresh = (*refresh).max(1);
+                    if surrogate_order.is_empty() || surrogate_age.is_multiple_of(refresh) {
+                        let sm = PerfModel::fit(collective, &collected, surrogate);
+                        let sr = rank_by_variance(&sm, &remaining);
+                        surrogate_order = sr.ranked.iter().map(|&(c, _)| c).collect();
+                        // DeepHyper-style exploration: shuffle the head.
+                        let k = (*top_k).min(surrogate_order.len());
+                        surrogate_order[..k].shuffle(&mut rng);
+                    } else {
+                        // Stale batch: drop candidates collected since.
+                        surrogate_order.retain(|c| !collected_set.contains(c));
+                    }
+                    surrogate_age += 1;
+                    surrogate_order.clone()
+                }
+                SelectionPolicy::Random => {
+                    let mut order = remaining.clone();
+                    order.shuffle(&mut rng);
+                    order
+                }
+            };
+
+            // Guided sampling: periodically promote a uniformly random
+            // candidate to the head of the order.
+            if let Some(every) = cfg.explore_every {
+                explore_counter += 1;
+                if every > 0 && explore_counter.is_multiple_of(every) {
+                    let pick = rng.random_range(0..ordered.len());
+                    ordered.swap(0, pick);
+                }
+            }
+
+            // Build the wave (one point for sequential collection).
+            let wave_candidates: Vec<Candidate> = match cfg.strategy {
+                CollectionStrategy::Sequential => vec![ordered[0]],
+                CollectionStrategy::Parallel => {
+                    let cluster = &db.config().cluster;
+                    let wave = schedule_wave(&cluster.topology, &cluster.allocation, &ordered);
+                    wave.placements
+                        .iter()
+                        .map(|p| ordered[p.candidate_index])
+                        .collect()
+                }
+            };
+            debug_assert!(!wave_candidates.is_empty());
+            last_parallelism = wave_candidates.len();
+
+            // Collect the wave (with every-5th non-P2 substitution).
+            let mut costs = Vec::with_capacity(wave_candidates.len());
+            for anchor in wave_candidates {
+                let actual = match injector.as_mut() {
+                    Some(inj) => inj.apply(anchor, &mut rng),
+                    None => anchor,
+                };
+                let s = db.sample(actual.algorithm, actual.point);
+                collected.push(TrainingSample {
+                    point: actual.point,
+                    algorithm: actual.algorithm,
+                    time_us: s.mean_us,
+                });
+                costs.push(s.wall_us);
+                // The P2 anchor leaves the pool either way: it was
+                // either collected or represented by its non-P2 variant.
+                collected_set.insert(anchor);
+            }
+            remaining.retain(|c| !collected_set.contains(c));
+            stats.add_wave(&costs);
+        }
+
+        let model = PerfModel::fit(collective, &collected, &cfg.forest);
+        TrainingOutcome {
+            model,
+            log,
+            collected,
+            converged,
+            stats,
+            test_wall_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_dataset::DatasetConfig;
+
+    fn tiny_db() -> BenchmarkDatabase {
+        BenchmarkDatabase::new(DatasetConfig::tiny())
+    }
+
+    fn fast_forest() -> ForestConfig {
+        ForestConfig {
+            n_trees: 16,
+            ..ForestConfig::for_n_features(4)
+        }
+    }
+
+    fn budget_config(policy: SelectionPolicy, points: usize) -> LearnerConfig {
+        LearnerConfig {
+            forest: fast_forest(),
+            policy,
+            strategy: CollectionStrategy::Sequential,
+            criterion: CriterionConfig::MaxPoints(points),
+            nonp2_every: None,
+            explore_every: None,
+            max_iterations: 100,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn budget_run_collects_exactly_the_budget() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        // Bcast seeds 8 corner points per algorithm (24); the budget
+        // must exceed that to exercise the iterative phase.
+        let cfg = budget_config(SelectionPolicy::OwnVariance, 30);
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert_eq!(out.collected.len(), 30);
+        assert!(out.converged);
+        assert!(out.stats.wall_us > 0.0);
+        assert_eq!(out.test_wall_us, 0.0);
+    }
+
+    #[test]
+    fn log_is_monotone_in_samples_and_wall_time() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = budget_config(SelectionPolicy::OwnVariance, 30);
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Reduce, &space, None);
+        assert!(out.log.len() >= 2);
+        for w in out.log.windows(2) {
+            assert!(w[1].samples > w[0].samples);
+            assert!(w[1].wall_us >= w[0].wall_us);
+        }
+    }
+
+    #[test]
+    fn oracle_tracking_improves_with_data() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let pts = space.points();
+        let cfg = budget_config(SelectionPolicy::OwnVariance, 30);
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, Some(&pts));
+        let first = out.log.first().unwrap().oracle_slowdown.unwrap();
+        let last = out.log.last().unwrap().oracle_slowdown.unwrap();
+        assert!(
+            last <= first,
+            "more data should not hurt on average: {first} -> {last}"
+        );
+        assert!(last < 1.15, "near-exhaustive training should be good: {last}");
+    }
+
+    #[test]
+    fn variance_criterion_stops_before_exhausting_the_space() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            forest: fast_forest(),
+            policy: SelectionPolicy::OwnVariance,
+            strategy: CollectionStrategy::Sequential,
+            criterion: CriterionConfig::CumulativeVariance(VarianceConvergence::relative(3, 0.2)),
+            nonp2_every: None,
+            explore_every: None,
+            max_iterations: 200,
+            seed: 7,
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Allreduce, &space, None);
+        let total_candidates = space.len() * 2;
+        assert!(out.converged, "loose criterion should fire");
+        assert!(
+            out.collected.len() < total_candidates,
+            "collected {} of {}",
+            out.collected.len(),
+            total_candidates
+        );
+    }
+
+    #[test]
+    fn test_slowdown_criterion_charges_test_collection() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            forest: fast_forest(),
+            policy: SelectionPolicy::SurrogateVariance {
+                surrogate: ForestConfig {
+                    n_trees: 8,
+                    seed: 99,
+                    ..ForestConfig::for_n_features(4)
+                },
+                top_k: 4,
+                refresh: 3,
+            },
+            strategy: CollectionStrategy::Sequential,
+            criterion: CriterionConfig::TestSlowdown {
+                threshold: SlowdownThreshold::paper_default(),
+                test_fraction: 0.2,
+            },
+            nonp2_every: None,
+            explore_every: None,
+            max_iterations: 60,
+            seed: 13,
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert!(out.test_wall_us > 0.0, "test set must cost machine time");
+        assert!(out.total_wall_us() > out.stats.wall_us);
+    }
+
+    #[test]
+    fn nonp2_injection_produces_nonp2_samples() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            nonp2_every: Some(5),
+            ..budget_config(SelectionPolicy::OwnVariance, 60)
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        let nonp2 = out
+            .collected
+            .iter()
+            .filter(|s| !s.point.msg_bytes.is_power_of_two())
+            .count();
+        // 36 post-seed selections at every=5 give ~7 substitutions.
+        assert!(nonp2 >= 4, "expected non-P2 samples, got {nonp2}");
+        assert!(nonp2 <= out.collected.len() / 3);
+    }
+
+    #[test]
+    fn parallel_collection_is_never_slower_sequentially_counted() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            strategy: CollectionStrategy::Parallel,
+            ..budget_config(SelectionPolicy::OwnVariance, 16)
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Reduce, &space, None);
+        assert!(out.stats.wall_us <= out.stats.sequential_wall_us + 1e-9);
+        assert!(out.stats.average_parallelism() >= 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = budget_config(SelectionPolicy::Random, 30);
+        let a = ActiveLearner::new(cfg.clone()).train(&db, Collective::Bcast, &space, None);
+        let b = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert_eq!(a.collected, b.collected);
+    }
+
+    #[test]
+    fn different_policies_choose_different_points() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let own = ActiveLearner::new(budget_config(SelectionPolicy::OwnVariance, 40))
+            .train(&db, Collective::Bcast, &space, None);
+        let random = ActiveLearner::new(budget_config(SelectionPolicy::Random, 40))
+            .train(&db, Collective::Bcast, &space, None);
+        assert_ne!(own.collected, random.collected);
+    }
+
+    #[test]
+    fn no_candidate_is_collected_twice() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let out = ActiveLearner::new(budget_config(SelectionPolicy::OwnVariance, 40))
+            .train(&db, Collective::Allreduce, &space, None);
+        let mut seen = HashSet::new();
+        for s in &out.collected {
+            assert!(
+                seen.insert((s.point, s.algorithm)),
+                "duplicate sample {:?}",
+                (s.point, s.algorithm)
+            );
+        }
+    }
+}

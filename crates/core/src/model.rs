@@ -1,0 +1,184 @@
+//! The per-collective performance model.
+//!
+//! ACCLAiM uses a single random forest model per collective and
+//! enumerates "algorithm" as an additional feature (Sec. V). The
+//! model maps (log2 msg, log2 nodes, log2 ppn, derived log2 ranks,
+//! algorithm index) to the collective's execution time and answers
+//! three queries:
+//!
+//! * predicted time of one algorithm at a point,
+//! * the selected (argmin) algorithm at a point,
+//! * the jackknife variance of the ensemble at a candidate — the signal
+//!   driving both ACCLAiM's point selection and its convergence test.
+//!
+//! Internally the forest regresses `ln(time)`: collective times span
+//! five orders of magnitude across the feature space, and an MSE tree
+//! fit on raw microseconds would spend its entire budget on the largest
+//! points. Predictions are exponentiated back to microseconds; argmin
+//! selections are unaffected by the monotone transform.
+
+use acclaim_collectives::{Algorithm, Collective};
+use acclaim_dataset::Point;
+use acclaim_ml::{jackknife_variance, FeatureMatrix, ForestConfig, RandomForest};
+use serde::{Deserialize, Serialize};
+
+/// One collected training sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// The benchmarked point.
+    pub point: Point,
+    /// The algorithm benchmarked at the point.
+    pub algorithm: Algorithm,
+    /// Measured mean time (µs).
+    pub time_us: f64,
+}
+
+/// A fitted per-collective performance model.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    collective: Collective,
+    forest: RandomForest,
+}
+
+impl PerfModel {
+    /// Fit the model on the collected samples (all of one collective).
+    pub fn fit(
+        collective: Collective,
+        samples: &[TrainingSample],
+        config: &ForestConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a model on zero samples");
+        let mut x = FeatureMatrix::new(5);
+        let mut y = Vec::with_capacity(samples.len());
+        for s in samples {
+            assert_eq!(
+                s.algorithm.collective(),
+                collective,
+                "sample from the wrong collective"
+            );
+            assert!(s.time_us > 0.0, "times must be positive");
+            x.push_row(&s.point.features_with_algorithm(s.algorithm.index_within_collective()));
+            y.push(s.time_us.ln());
+        }
+        PerfModel {
+            collective,
+            forest: RandomForest::fit(config, &x, &y),
+        }
+    }
+
+    /// The collective this model serves.
+    pub fn collective(&self) -> Collective {
+        self.collective
+    }
+
+    /// Predicted execution time (µs) of `algorithm` at `point`.
+    pub fn predict(&self, point: Point, algorithm: Algorithm) -> f64 {
+        debug_assert_eq!(algorithm.collective(), self.collective);
+        self.forest
+            .predict(&point.features_with_algorithm(algorithm.index_within_collective()))
+            .exp()
+    }
+
+    /// The algorithm the model selects at `point` (lowest predicted
+    /// time — Sec. II-C-1).
+    pub fn select(&self, point: Point) -> Algorithm {
+        self.collective
+            .algorithms()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.predict(point, a).total_cmp(&self.predict(point, b)))
+            .expect("collectives have algorithms")
+    }
+
+    /// Jackknife variance of the ensemble at a candidate (in log-time
+    /// space, i.e. relative uncertainty). `scratch` is reused across
+    /// calls to avoid reallocating the per-tree buffer.
+    pub fn variance(&self, point: Point, algorithm: Algorithm, scratch: &mut Vec<f64>) -> f64 {
+        debug_assert_eq!(algorithm.collective(), self.collective);
+        self.forest.predict_per_tree(
+            &point.features_with_algorithm(algorithm.index_within_collective()),
+            scratch,
+        );
+        jackknife_variance(scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace};
+
+    fn samples_for(db: &BenchmarkDatabase, collective: Collective) -> Vec<TrainingSample> {
+        let space = FeatureSpace::tiny();
+        let mut out = Vec::new();
+        for p in space.points() {
+            for &a in collective.algorithms() {
+                out.push(TrainingSample {
+                    point: p,
+                    algorithm: a,
+                    time_us: db.time(a, p),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_and_predicts_positive_times() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let m = PerfModel::fit(
+            Collective::Bcast,
+            &samples_for(&db, Collective::Bcast),
+            &ForestConfig::default(),
+        );
+        for p in FeatureSpace::tiny().points() {
+            for &a in Collective::Bcast.algorithms() {
+                assert!(m.predict(p, a) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_trained_model_selects_near_optimally() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let m = PerfModel::fit(
+            Collective::Reduce,
+            &samples_for(&db, Collective::Reduce),
+            &ForestConfig::default(),
+        );
+        let pts = FeatureSpace::tiny().points();
+        let slowdown = db.average_slowdown(Collective::Reduce, &pts, |p| m.select(p));
+        assert!(slowdown < 1.1, "full-data model should be near-optimal: {slowdown}");
+    }
+
+    #[test]
+    fn variance_shrinks_where_data_exists() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let all = samples_for(&db, Collective::Bcast);
+        // Train on points with nodes <= 4 only.
+        let partial: Vec<TrainingSample> =
+            all.iter().copied().filter(|s| s.point.nodes <= 4).collect();
+        let m = PerfModel::fit(Collective::Bcast, &partial, &ForestConfig::default());
+        let mut scratch = Vec::new();
+        let seen = Point::new(4, 1, 256);
+        let unseen = Point::new(8, 2, 4_096);
+        let v_seen = m.variance(seen, Algorithm::BcastBinomial, &mut scratch);
+        let v_unseen = m.variance(unseen, Algorithm::BcastBinomial, &mut scratch);
+        assert!(
+            v_unseen > v_seen,
+            "unseen corner must be more uncertain: {v_unseen} vs {v_seen}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong collective")]
+    fn cross_collective_samples_rejected() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let s = TrainingSample {
+            point: Point::new(2, 1, 64),
+            algorithm: Algorithm::ReduceBinomial,
+            time_us: db.time(Algorithm::ReduceBinomial, Point::new(2, 1, 64)),
+        };
+        let _ = PerfModel::fit(Collective::Bcast, &[s], &ForestConfig::default());
+    }
+}

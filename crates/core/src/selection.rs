@@ -1,0 +1,219 @@
+//! Training-point selection (paper Sec. IV-A and IV-B).
+//!
+//! ACCLAiM ranks every uncollected candidate (point × algorithm) by the
+//! jackknife variance of its own random forest and benchmarks the
+//! highest-variance one next — "filling gaps in its understanding". To
+//! bound the number of variance evaluations, only P2 grid points are
+//! ranked (Sec. IV-A); non-P2 coverage instead comes from the *every
+//! fifth point* substitution of Sec. IV-B, which swaps the winning
+//! candidate's message size for a random non-P2 size whose closest P2
+//! value is the original.
+
+use crate::model::PerfModel;
+use acclaim_collectives::{Algorithm, Collective};
+use acclaim_dataset::{FeatureSpace, Point};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One selectable training candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The feature-space point.
+    pub point: Point,
+    /// The algorithm to benchmark at the point.
+    pub algorithm: Algorithm,
+}
+
+/// All candidates of a collective over a P2 grid.
+pub fn all_candidates(collective: Collective, space: &FeatureSpace) -> Vec<Candidate> {
+    let pts = space.points();
+    collective
+        .algorithms()
+        .iter()
+        .flat_map(|&algorithm| {
+            pts.iter().map(move |&point| Candidate { point, algorithm })
+        })
+        .collect()
+}
+
+/// Candidates ranked by model variance, descending, plus the cumulative
+/// variance used as ACCLAiM's convergence signal (Sec. IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarianceRanking {
+    /// `(candidate, jackknife variance)`, highest variance first.
+    pub ranked: Vec<(Candidate, f64)>,
+    /// Sum of variance over every candidate.
+    pub cumulative: f64,
+}
+
+impl VarianceRanking {
+    /// The highest-variance candidate, if any remain.
+    pub fn top(&self) -> Option<Candidate> {
+        self.ranked.first().map(|&(c, _)| c)
+    }
+}
+
+/// Rank `candidates` by the model's jackknife variance.
+pub fn rank_by_variance(model: &PerfModel, candidates: &[Candidate]) -> VarianceRanking {
+    let mut scratch = Vec::new();
+    let mut ranked: Vec<(Candidate, f64)> = candidates
+        .iter()
+        .map(|&c| (c, model.variance(c.point, c.algorithm, &mut scratch)))
+        .collect();
+    // Deterministic order: variance desc, then candidate identity.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let cumulative = ranked.iter().map(|&(_, v)| v).sum();
+    VarianceRanking { ranked, cumulative }
+}
+
+/// A random non-P2 message size whose closest P2 value is `msg`
+/// (the paper's example: for 8, a size in (6, 12) that is not 8).
+///
+/// Returns `None` when the window holds no non-P2 value (msg < 4).
+pub fn nonp2_message_near<R: Rng + ?Sized>(msg: u64, rng: &mut R) -> Option<u64> {
+    debug_assert!(msg.is_power_of_two(), "anchor must be a P2 grid size");
+    let lo = msg - msg / 4; // 3m/4
+    let hi = msg + msg / 2; // 3m/2
+    if hi <= lo + 1 {
+        return None;
+    }
+    for _ in 0..64 {
+        let v = rng.random_range(lo + 1..hi);
+        if !v.is_power_of_two() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Applies the every-N-th non-P2 substitution across the training run.
+#[derive(Debug, Clone)]
+pub struct NonP2Injector {
+    every: usize,
+    selected: usize,
+}
+
+impl NonP2Injector {
+    /// Substitute every `every`-th selected point (the paper uses 5,
+    /// yielding the 80-20 split of Sec. VI-B).
+    pub fn new(every: usize) -> Self {
+        assert!(every >= 1);
+        NonP2Injector { every, selected: 0 }
+    }
+
+    /// Account one selection; on every `every`-th call, swap the
+    /// candidate's message size for a non-P2 neighbor.
+    pub fn apply<R: Rng + ?Sized>(&mut self, candidate: Candidate, rng: &mut R) -> Candidate {
+        self.selected += 1;
+        if !self.selected.is_multiple_of(self.every) {
+            return candidate;
+        }
+        match nonp2_message_near(candidate.point.msg_bytes, rng) {
+            Some(m) => Candidate {
+                point: Point::new(candidate.point.nodes, candidate.point.ppn, m),
+                algorithm: candidate.algorithm,
+            },
+            None => candidate,
+        }
+    }
+
+    /// Number of selections seen so far.
+    pub fn selections(&self) -> usize {
+        self.selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainingSample;
+    use acclaim_dataset::{BenchmarkDatabase, DatasetConfig};
+    use acclaim_ml::ForestConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn all_candidates_covers_the_grid_times_algorithms() {
+        let space = FeatureSpace::tiny();
+        let c = all_candidates(Collective::Bcast, &space);
+        assert_eq!(c.len(), space.len() * 3);
+        let set: std::collections::HashSet<Candidate> = c.iter().copied().collect();
+        assert_eq!(set.len(), c.len());
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_sums() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let space = FeatureSpace::tiny();
+        // Sparse model: a few samples only.
+        let samples: Vec<TrainingSample> = space
+            .points()
+            .into_iter()
+            .take(3)
+            .map(|p| TrainingSample {
+                point: p,
+                algorithm: Algorithm::BcastBinomial,
+                time_us: db.time(Algorithm::BcastBinomial, p),
+            })
+            .collect();
+        let model = PerfModel::fit(Collective::Bcast, &samples, &ForestConfig::default());
+        let cands = all_candidates(Collective::Bcast, &space);
+        let r = rank_by_variance(&model, &cands);
+        assert_eq!(r.ranked.len(), cands.len());
+        assert!(r.ranked.windows(2).all(|w| w[0].1 >= w[1].1), "descending");
+        let sum: f64 = r.ranked.iter().map(|&(_, v)| v).sum();
+        assert!((sum - r.cumulative).abs() < 1e-12);
+        assert!(r.top().is_some());
+    }
+
+    #[test]
+    fn nonp2_window_matches_paper_example() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = nonp2_message_near(8, &mut rng).unwrap();
+            assert!((7..12).contains(&v), "{v} outside (6,12)");
+            assert_ne!(v, 8);
+        }
+    }
+
+    #[test]
+    fn nonp2_values_are_never_p2() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for exp in 3..20 {
+            for _ in 0..20 {
+                if let Some(v) = nonp2_message_near(1 << exp, &mut rng) {
+                    assert!(!v.is_power_of_two(), "{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_anchors_have_no_window() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(nonp2_message_near(1, &mut rng), None);
+        assert_eq!(nonp2_message_near(2, &mut rng), None);
+    }
+
+    #[test]
+    fn injector_substitutes_every_fifth() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut inj = NonP2Injector::new(5);
+        let c = Candidate {
+            point: Point::new(4, 2, 1_024),
+            algorithm: Algorithm::BcastBinomial,
+        };
+        let mut swapped = 0;
+        for i in 1..=20 {
+            let out = inj.apply(c, &mut rng);
+            if out != c {
+                swapped += 1;
+                assert_eq!(i % 5, 0, "swap must land on every fifth selection");
+                assert!(!out.point.msg_bytes.is_power_of_two());
+                assert_eq!(out.point.nodes, c.point.nodes);
+                assert_eq!(out.algorithm, c.algorithm);
+            }
+        }
+        assert_eq!(swapped, 4, "20 selections at every=5 give 4 swaps");
+        assert_eq!(inj.selections(), 20);
+    }
+}

@@ -1,0 +1,16 @@
+//! Data-management substrate for the ACCLAiM reproduction.
+//!
+//! Reproduces the paper's evaluation framework (Sec. II-A): a feature
+//! space of (nodes, ppn, message size) points ([`space`]), a
+//! precollected exhaustive benchmark database over the simulator
+//! ([`database`]), train/test sampling including the non-P2 test sets of
+//! Sec. III-B ([`splits`]), and synthetic LLNL-style application traces
+//! plus the Fig. 15 profit model ([`traces`]).
+
+pub mod database;
+pub mod space;
+pub mod splits;
+pub mod traces;
+
+pub use database::{BenchmarkDatabase, DatasetConfig, Sample};
+pub use space::{FeatureSpace, Point};

@@ -1,0 +1,331 @@
+//! Synthetic application traces and the application profit model.
+//!
+//! The paper profiles LLNL production traces (Wang et al.) to show that
+//! 15.7% of collective message sizes are non-power-of-two (Fig. 4), and
+//! closes by computing the minimum application runtime that recoups
+//! ACCLAiM's training time (Fig. 15). The LLNL dataset is not available
+//! here, so we generate synthetic per-application message-size
+//! distributions calibrated to the paper's reported non-P2 fractions;
+//! the figure only consumes that mix.
+
+use crate::database::BenchmarkDatabase;
+use crate::space::Point;
+use acclaim_collectives::{Algorithm, Collective};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One collective call site in a trace: a message size and how often it
+/// is invoked per application iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCall {
+    /// Which collective.
+    pub collective: Collective,
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// Invocations per iteration.
+    pub count: u32,
+}
+
+/// A synthetic application communication trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppTrace {
+    /// Application name (mirrors the LLNL trace set).
+    pub name: String,
+    /// Job scale the trace was "captured" at (nodes).
+    pub scale_nodes: u32,
+    /// The call sites.
+    pub calls: Vec<TraceCall>,
+}
+
+impl AppTrace {
+    /// Fraction of call invocations whose message size is non-P2.
+    pub fn nonp2_fraction(&self) -> f64 {
+        let total: u64 = self.calls.iter().map(|c| c.count as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let nonp2: u64 = self
+            .calls
+            .iter()
+            .filter(|c| !c.msg_bytes.is_power_of_two())
+            .map(|c| c.count as u64)
+            .sum();
+        nonp2 as f64 / total as f64
+    }
+
+    /// Distinct collectives the application uses (ACCLAiM's required
+    /// user input, Sec. V).
+    pub fn collectives(&self) -> Vec<Collective> {
+        let mut cs: Vec<Collective> = self.calls.iter().map(|c| c.collective).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// Total time (µs) one iteration spends in collectives on `db`'s
+    /// machine at (`nodes`, `ppn`), under a selection policy.
+    pub fn collective_time_per_iteration(
+        &self,
+        db: &BenchmarkDatabase,
+        nodes: u32,
+        ppn: u32,
+        mut select: impl FnMut(Collective, Point) -> Algorithm,
+    ) -> f64 {
+        self.calls
+            .iter()
+            .map(|c| {
+                let p = Point::new(nodes, ppn, c.msg_bytes);
+                let a = select(c.collective, p);
+                assert_eq!(a.collective(), c.collective);
+                db.time(a, p) * c.count as f64
+            })
+            .sum()
+    }
+}
+
+/// Per-application trace parameters, calibrated to Fig. 4.
+struct AppSpec {
+    name: &'static str,
+    nonp2_fraction: f64,
+    collectives: &'static [Collective],
+    call_sites: usize,
+    /// Largest trace scale available (the LLNL set has no 1024-node
+    /// ParaDis trace).
+    max_scale: u32,
+}
+
+const APP_SPECS: [AppSpec; 4] = [
+    AppSpec {
+        name: "AMG",
+        nonp2_fraction: 0.26,
+        collectives: &[Collective::Allreduce, Collective::Bcast],
+        call_sites: 40,
+        max_scale: 1_024,
+    },
+    AppSpec {
+        name: "Nekbone",
+        nonp2_fraction: 0.06,
+        collectives: &[Collective::Allreduce, Collective::Allgather],
+        call_sites: 25,
+        max_scale: 1_024,
+    },
+    AppSpec {
+        name: "ParaDis",
+        nonp2_fraction: 0.17,
+        collectives: &[Collective::Allreduce, Collective::Bcast, Collective::Reduce],
+        call_sites: 55,
+        max_scale: 64,
+    },
+    AppSpec {
+        name: "Laghos",
+        nonp2_fraction: 0.14,
+        collectives: &[Collective::Allreduce, Collective::Reduce],
+        call_sites: 30,
+        max_scale: 1_024,
+    },
+];
+
+/// Names of the traced applications.
+pub fn trace_app_names() -> Vec<&'static str> {
+    APP_SPECS.iter().map(|s| s.name).collect()
+}
+
+/// Generate the synthetic trace of one application at a job scale, or
+/// `None` when the LLNL set has no trace at that scale (ParaDis, 1024
+/// nodes).
+pub fn synthetic_trace(app: &str, scale_nodes: u32, max_msg: u64) -> Option<AppTrace> {
+    let spec = APP_SPECS.iter().find(|s| s.name == app)?;
+    if scale_nodes > spec.max_scale {
+        return None;
+    }
+    let mut h = std::hash::DefaultHasher::new();
+    use std::hash::{Hash, Hasher};
+    (app, scale_nodes).hash(&mut h);
+    let mut rng = StdRng::seed_from_u64(h.finish());
+
+    // Draw P2 call sites first, then promote sites to non-P2 sizes until
+    // the *call-volume-weighted* non-P2 fraction reaches the app's
+    // calibrated target (counts vary per site, so a per-site coin flip
+    // would have too much variance).
+    let mut calls = Vec::with_capacity(spec.call_sites);
+    for _ in 0..spec.call_sites {
+        let collective = spec.collectives[rng.random_range(0..spec.collectives.len())];
+        let exp = rng.random_range(3u32..=max_msg.ilog2());
+        calls.push(TraceCall {
+            collective,
+            msg_bytes: 1u64 << exp,
+            count: rng.random_range(1..50),
+        });
+    }
+    let total: u64 = calls.iter().map(|c| c.count as u64).sum();
+    let mut nonp2_volume = 0u64;
+    for c in &mut calls {
+        if (nonp2_volume as f64) < spec.nonp2_fraction * total as f64 {
+            // A non-P2 count of an 8-byte datatype near the P2 anchor.
+            let base = c.msg_bytes;
+            let hi = (base * 2).min(max_msg).max(base + 2);
+            c.msg_bytes = crate::splits::random_non_p2_between(base, hi, &mut rng)
+                .map(|v| (v / 8).max(1) * 8 + 8) // datatype-aligned but non-P2
+                .filter(|v| !v.is_power_of_two())
+                .unwrap_or(base + 8);
+            nonp2_volume += c.count as u64;
+        }
+    }
+    Some(AppTrace {
+        name: app.to_string(),
+        scale_nodes,
+        calls,
+    })
+}
+
+/// All available traces at the two scales the paper shows (small = 64
+/// nodes, large = 1024 nodes).
+pub fn all_traces(max_msg: u64) -> Vec<AppTrace> {
+    let mut out = Vec::new();
+    for spec in &APP_SPECS {
+        for scale in [64u32, 1_024] {
+            if let Some(t) = synthetic_trace(spec.name, scale, max_msg) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate non-P2 fraction over a set of traces, weighted by call
+/// volume (the paper's "15.7% across four applications").
+pub fn aggregate_nonp2_fraction(traces: &[AppTrace]) -> f64 {
+    let mut total = 0u64;
+    let mut nonp2 = 0u64;
+    for t in traces {
+        for c in &t.calls {
+            total += c.count as u64;
+            if !c.msg_bytes.is_power_of_two() {
+                nonp2 += c.count as u64;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        nonp2 as f64 / total as f64
+    }
+}
+
+/// Fig. 15's profit model: the minimum application runtime needed to
+/// recoup a training cost, given the whole-application speedup tuning
+/// delivers.
+///
+/// A run of length `R` (tuned) would have taken `R * s` untuned, saving
+/// `R (s - 1)`; profit requires `R (s - 1) >= T`, i.e. `R >= T/(s-1)`
+/// measured in tuned time — equivalently `R_untuned >= T * s/(s-1)`.
+/// This returns the untuned runtime bound, matching the paper's framing
+/// ("applications must run for only a few hours").
+pub fn min_runtime_for_profit(training_time_us: f64, app_speedup: f64) -> f64 {
+    assert!(app_speedup > 1.0, "no speedup, no profit");
+    training_time_us * app_speedup / (app_speedup - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatasetConfig;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = synthetic_trace("AMG", 64, 1 << 20).unwrap();
+        let b = synthetic_trace("AMG", 64, 1 << 20).unwrap();
+        assert_eq!(a, b);
+        let c = synthetic_trace("AMG", 1_024, 1 << 20).unwrap();
+        assert_ne!(a, c, "different scales give different traces");
+    }
+
+    #[test]
+    fn paradis_has_no_large_scale_trace() {
+        assert!(synthetic_trace("ParaDis", 64, 1 << 20).is_some());
+        assert!(synthetic_trace("ParaDis", 1_024, 1 << 20).is_none());
+        assert_eq!(all_traces(1 << 20).len(), 7); // 4 small + 3 large
+    }
+
+    #[test]
+    fn per_app_nonp2_fractions_are_near_spec() {
+        for spec in &APP_SPECS {
+            let t = synthetic_trace(spec.name, 64, 1 << 20).unwrap();
+            let f = t.nonp2_fraction();
+            assert!(
+                (f - spec.nonp2_fraction).abs() < 0.15,
+                "{}: {f} vs {}",
+                spec.name,
+                spec.nonp2_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_nonp2_is_in_the_paper_ballpark() {
+        let f = aggregate_nonp2_fraction(&all_traces(1 << 20));
+        assert!((0.08..=0.25).contains(&f), "aggregate non-P2 was {f}");
+    }
+
+    #[test]
+    fn scale_does_not_move_nonp2_fraction_much() {
+        // The paper: "the percentage is nearly the same for both small-
+        // and large-scale jobs".
+        for name in ["AMG", "Nekbone", "Laghos"] {
+            let small = synthetic_trace(name, 64, 1 << 20).unwrap().nonp2_fraction();
+            let large = synthetic_trace(name, 1_024, 1 << 20)
+                .unwrap()
+                .nonp2_fraction();
+            assert!((small - large).abs() < 0.2, "{name}: {small} vs {large}");
+        }
+    }
+
+    #[test]
+    fn collectives_listed_once() {
+        let t = synthetic_trace("ParaDis", 64, 1 << 20).unwrap();
+        let cs = t.collectives();
+        let set: std::collections::HashSet<_> = cs.iter().collect();
+        assert_eq!(set.len(), cs.len());
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn collective_time_accumulates_over_calls() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let trace = AppTrace {
+            name: "toy".into(),
+            scale_nodes: 4,
+            calls: vec![
+                TraceCall {
+                    collective: Collective::Bcast,
+                    msg_bytes: 1_024,
+                    count: 3,
+                },
+                TraceCall {
+                    collective: Collective::Reduce,
+                    msg_bytes: 256,
+                    count: 1,
+                },
+            ],
+        };
+        let t = trace.collective_time_per_iteration(&db, 4, 2, |c, p| db.best(c, p).0);
+        let by_hand = 3.0 * db.best(Collective::Bcast, Point::new(4, 2, 1_024)).1
+            + db.best(Collective::Reduce, Point::new(4, 2, 256)).1;
+        assert!((t - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_runtime_shrinks_with_speedup() {
+        let t = 1e6; // 1 second of training
+        let r1 = min_runtime_for_profit(t, 1.01);
+        let r5 = min_runtime_for_profit(t, 1.05);
+        assert!(r1 > r5);
+        assert!((r1 - t * 101.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no speedup")]
+    fn speedup_of_one_never_profits() {
+        min_runtime_for_profit(1.0, 1.0);
+    }
+}

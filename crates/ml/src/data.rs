@@ -1,0 +1,103 @@
+//! Row-major feature matrix used by the tree and forest learners.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64` features.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    n_features: usize,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix of rows with `n_features` columns.
+    pub fn new(n_features: usize) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        FeatureMatrix {
+            data: Vec::new(),
+            n_features,
+        }
+    }
+
+    /// Build from rows; every row must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let mut m = FeatureMatrix::new(rows[0].len());
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.n_features
+    }
+
+    /// True when the matrix holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Value at row `i`, column `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_features + j]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut m = FeatureMatrix::new(2);
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    fn from_rows_builds_matrix() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.n_features(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+}

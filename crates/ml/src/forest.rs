@@ -1,0 +1,246 @@
+//! Bagged random-forest regressor with per-tree prediction access.
+//!
+//! The paper's autotuners model collective performance with random
+//! forests (one per collective, algorithm as a feature — Sec. V).
+//! ACCLAiM's contributions need *ensemble internals*: the jackknife
+//! variance of Sec. IV-A is computed over the individual trees'
+//! predictions, which scikit-learn exposes and we therefore expose too.
+
+use crate::data::FeatureMatrix;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Ensemble size.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Draw bootstrap samples (with replacement) per tree.
+    pub bootstrap: bool,
+    /// Base RNG seed; tree `i` derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 64,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// scikit-learn-flavored defaults. Modern scikit-learn regression
+    /// forests consider *all* features at each split (`max_features =
+    /// 1.0`) and rely on bootstrap sampling for ensemble diversity;
+    /// with the autotuner's 3-4 features, per-split subsampling would
+    /// cost far more accuracy than it buys in decorrelation.
+    pub fn for_n_features(n_features: usize) -> Self {
+        let _ = n_features;
+        ForestConfig {
+            tree: TreeConfig {
+                max_features: None,
+                ..TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `config.n_trees` trees in parallel (rayon).
+    pub fn fit(config: &ForestConfig, x: &FeatureMatrix, y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(!x.is_empty(), "cannot fit a forest on zero samples");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let n = x.len();
+        let trees: Vec<DecisionTree> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                // Independent, deterministic stream per tree.
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let indices: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| rng.random_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                DecisionTree::fit(&config.tree, x, y, &indices, &mut rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Ensemble prediction: the mean over trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Per-tree predictions, written into `out` (cleared first). This is
+    /// the input to the jackknife variance of Sec. IV-A.
+    pub fn predict_per_tree(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.trees.iter().map(|t| t.predict(row)));
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| 3.0 * i as f64 + (i % 5) as f64).collect();
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forest_fits_and_predicts_reasonably() {
+        let (x, y) = linear_dataset(100);
+        let f = RandomForest::fit(&ForestConfig::default(), &x, &y);
+        // In-range point: within 10% of truth.
+        let p = f.predict(&[50.0, 0.0]);
+        assert!((p - 150.0).abs() < 15.0, "p={p}");
+    }
+
+    #[test]
+    fn fitting_is_deterministic_for_a_seed() {
+        let (x, y) = linear_dataset(60);
+        let a = RandomForest::fit(&ForestConfig::default(), &x, &y);
+        let b = RandomForest::fit(&ForestConfig::default(), &x, &y);
+        assert_eq!(a, b, "same seed must give identical forests");
+        let c = RandomForest::fit(
+            &ForestConfig {
+                seed: 1234,
+                ..ForestConfig::default()
+            },
+            &x,
+            &y,
+        );
+        assert_ne!(a, c, "different seed must change the ensemble");
+    }
+
+    #[test]
+    fn per_tree_predictions_average_to_ensemble() {
+        let (x, y) = linear_dataset(80);
+        let f = RandomForest::fit(&ForestConfig::default(), &x, &y);
+        let row = [33.0, 3.0];
+        let mut per = Vec::new();
+        f.predict_per_tree(&row, &mut per);
+        assert_eq!(per.len(), f.n_trees());
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        assert!((mean - f.predict(&row)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_trees_differ() {
+        let (x, y) = linear_dataset(50);
+        let f = RandomForest::fit(&ForestConfig::default(), &x, &y);
+        let mut per = Vec::new();
+        f.predict_per_tree(&[25.5, 2.0], &mut per);
+        let first = per[0];
+        assert!(
+            per.iter().any(|&p| (p - first).abs() > 1e-12),
+            "bootstrap must diversify trees"
+        );
+    }
+
+    #[test]
+    fn without_bootstrap_and_full_features_trees_agree() {
+        let (x, y) = linear_dataset(50);
+        let cfg = ForestConfig {
+            bootstrap: false,
+            n_trees: 8,
+            ..ForestConfig::default()
+        };
+        let f = RandomForest::fit(&cfg, &x, &y);
+        let mut per = Vec::new();
+        f.predict_per_tree(&[25.0, 0.0], &mut per);
+        assert!(
+            per.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12),
+            "identical training data + all features => identical trees"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn predictions_stay_within_target_range(
+                ys in proptest::collection::vec(-500.0f64..500.0, 4..40),
+            ) {
+                let rows: Vec<Vec<f64>> =
+                    (0..ys.len()).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+                let x = FeatureMatrix::from_rows(&rows);
+                let cfg = ForestConfig { n_trees: 12, ..ForestConfig::default() };
+                let f = RandomForest::fit(&cfg, &x, &ys);
+                let (lo, hi) = ys
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+                for row in x.rows() {
+                    let p = f.predict(row);
+                    prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+                }
+                // Extrapolation queries are also bounded by the ensemble.
+                let p = f.predict(&[1e6, -1e6]);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+
+            #[test]
+            fn per_tree_mean_equals_ensemble_everywhere(
+                ys in proptest::collection::vec(-100.0f64..100.0, 4..30),
+                qx in -50.0f64..100.0,
+            ) {
+                let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+                let x = FeatureMatrix::from_rows(&rows);
+                let cfg = ForestConfig { n_trees: 8, ..ForestConfig::default() };
+                let f = RandomForest::fit(&cfg, &x, &ys);
+                let mut per = Vec::new();
+                f.predict_per_tree(&[qx], &mut per);
+                let mean = per.iter().sum::<f64>() / per.len() as f64;
+                prop_assert!((mean - f.predict(&[qx])).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_subsampling_diversifies_trees() {
+        let (x, y) = linear_dataset(50);
+        let cfg = ForestConfig {
+            bootstrap: false,
+            n_trees: 16,
+            tree: TreeConfig {
+                max_features: Some(1),
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        };
+        let f = RandomForest::fit(&cfg, &x, &y);
+        let mut per = Vec::new();
+        f.predict_per_tree(&[25.5, 2.5], &mut per);
+        let first = per[0];
+        assert!(per.iter().any(|&p| (p - first).abs() > 1e-12));
+    }
+}

@@ -1,0 +1,22 @@
+//! From-scratch machine-learning substrate for the ACCLAiM reproduction.
+//!
+//! The paper models collective performance with scikit-learn random
+//! forests. ACCLAiM's contributions need ensemble internals — the
+//! jackknife variance of Wager et al. over the individual trees'
+//! predictions drives both training-point selection and the
+//! test-set-free convergence criterion — so this crate implements CART
+//! regression trees ([`tree`]), bagged random forests with per-tree
+//! prediction access ([`forest`]), the jackknife ([`jackknife`]), and
+//! the evaluation metrics including *average slowdown* ([`metrics`]).
+
+pub mod data;
+pub mod forest;
+pub mod jackknife;
+pub mod metrics;
+pub mod tree;
+
+pub use data::FeatureMatrix;
+pub use forest::{ForestConfig, RandomForest};
+pub use jackknife::{forest_variance_at, jackknife_variance};
+pub use metrics::{average_slowdown, CONVERGENCE_SLOWDOWN};
+pub use tree::{DecisionTree, TreeConfig};

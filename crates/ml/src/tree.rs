@@ -1,0 +1,359 @@
+//! CART regression tree with variance-reduction (MSE) splits.
+//!
+//! Built from scratch (the paper uses scikit-learn's
+//! `RandomForestRegressor`; we need our own to expose per-tree ensemble
+//! predictions for the jackknife). Splits minimize the summed squared
+//! error of the two children; per-split feature subsampling supports the
+//! random forest above it.
+
+use crate::data::FeatureMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 24,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Node {
+    /// Split feature, or `usize::MAX` for leaves.
+    feature: usize,
+    /// Split threshold (`x[feature] <= threshold` goes left); unused for
+    /// leaves.
+    threshold: f64,
+    /// Leaf prediction; unused for split nodes.
+    value: f64,
+    /// Child indices (left, right); unused for leaves.
+    left: u32,
+    right: u32,
+}
+
+const LEAF: usize = usize::MAX;
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Fit a tree on the rows of `x` selected by `indices` (with
+    /// repetitions allowed, supporting bootstrap samples).
+    pub fn fit<R: Rng + ?Sized>(
+        config: &TreeConfig,
+        x: &FeatureMatrix,
+        y: &[f64],
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        let mut builder = Builder {
+            config,
+            x,
+            y,
+            rng,
+            nodes: Vec::new(),
+            feature_pool: (0..x.n_features()).collect(),
+        };
+        let mut idx = indices.to_vec();
+        builder.build(&mut idx, 0);
+        DecisionTree {
+            nodes: builder.nodes,
+        }
+    }
+
+    /// Predict the target for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = &self.nodes[0];
+        while node.feature != LEAF {
+            node = if row[node.feature] <= node.threshold {
+                &self.nodes[node.left as usize]
+            } else {
+                &self.nodes[node.right as usize]
+            };
+        }
+        node.value
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            let n = &nodes[i];
+            if n.feature == LEAF {
+                0
+            } else {
+                1 + depth_of(nodes, n.left as usize).max(depth_of(nodes, n.right as usize))
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+struct Builder<'a, R: Rng + ?Sized> {
+    config: &'a TreeConfig,
+    x: &'a FeatureMatrix,
+    y: &'a [f64],
+    rng: &'a mut R,
+    nodes: Vec<Node>,
+    feature_pool: Vec<usize>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64,
+}
+
+impl<R: Rng + ?Sized> Builder<'_, R> {
+    /// Build the subtree over `indices`; returns its node index.
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> u32 {
+        let node_id = self.nodes.len() as u32;
+        let mean = indices.iter().map(|&i| self.y[i]).sum::<f64>() / indices.len() as f64;
+        self.nodes.push(Node {
+            feature: LEAF,
+            threshold: 0.0,
+            value: mean,
+            left: 0,
+            right: 0,
+        });
+
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_samples_split
+            || indices.len() < 2 * self.config.min_samples_leaf
+        {
+            return node_id;
+        }
+        let Some(split) = self.best_split(indices) else {
+            return node_id;
+        };
+
+        // Partition in place: rows with x[f] <= t go left.
+        let mut mid = 0;
+        for i in 0..indices.len() {
+            if self.x.get(indices[i], split.feature) <= split.threshold {
+                indices.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < indices.len(), "degenerate split survived");
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        let left = self.build(left_idx, depth + 1);
+        let right = self.build(right_idx, depth + 1);
+        let node = &mut self.nodes[node_id as usize];
+        node.feature = split.feature;
+        node.threshold = split.threshold;
+        node.left = left;
+        node.right = right;
+        node_id
+    }
+
+    /// Exhaustive best split over a random feature subset: minimize
+    /// left/right summed squared error via a sorted prefix scan.
+    fn best_split(&mut self, indices: &[usize]) -> Option<BestSplit> {
+        let n_features = self.x.n_features();
+        let k = self
+            .config
+            .max_features
+            .unwrap_or(n_features)
+            .clamp(1, n_features);
+        self.feature_pool.shuffle(self.rng);
+        // Work on a copy of the candidate features to keep the borrow
+        // checker happy while we mutate scratch.
+        let candidates: Vec<usize> = self.feature_pool[..k].to_vec();
+
+        let total_sum: f64 = indices.iter().map(|&i| self.y[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| self.y[i] * self.y[i]).sum();
+        let n = indices.len() as f64;
+        let parent_score = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<BestSplit> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+        for f in candidates {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+
+            let min_leaf = self.config.min_samples_leaf;
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += self.y[i];
+                left_sq += self.y[i] * self.y[i];
+                let left_n = pos + 1;
+                let right_n = order.len() - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let this_v = self.x.get(i, f);
+                let next_v = self.x.get(order[pos + 1], f);
+                if this_v == next_v {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let score = (left_sq - left_sum * left_sum / left_n as f64)
+                    + (right_sq - right_sum * right_sum / right_n as f64);
+                if score + 1e-12 < best.as_ref().map_or(parent_score, |b| b.score) {
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: 0.5 * (this_v + next_v),
+                        score,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn fit(x: &FeatureMatrix, y: &[f64], config: &TreeConfig) -> DecisionTree {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        DecisionTree::fit(config, x, y, &idx, &mut rng)
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![5.0; 3];
+        let t = fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[9.0]), 5.0);
+    }
+
+    #[test]
+    fn step_function_is_learned_exactly() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 2.0 }).collect();
+        let t = fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.predict(&[3.0]), 1.0);
+        assert_eq!(t.predict(&[15.0]), 2.0);
+        assert_eq!(t.predict(&[9.4]), 1.0);
+        assert_eq!(t.predict(&[9.6]), 2.0);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = 10 when (a > 0.5 and b > 0.5), else 0: needs two levels.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                rows.push(vec![a as f64 / 3.0, b as f64 / 3.0]);
+                y.push(if a >= 2 && b >= 2 { 10.0 } else { 0.0 });
+            }
+        }
+        let x = FeatureMatrix::from_rows(&rows);
+        let t = fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.predict(&[1.0, 1.0]), 10.0);
+        assert_eq!(t.predict(&[1.0, 0.0]), 0.0);
+        assert_eq!(t.predict(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let shallow = fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 2,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(shallow.depth() <= 2);
+        let deep = fit(&x, &y, &TreeConfig::default());
+        assert!(deep.depth() > 2);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let t = fit(
+            &x,
+            &y,
+            &TreeConfig {
+                min_samples_leaf: 5,
+                ..TreeConfig::default()
+            },
+        );
+        // Only one split can satisfy two leaves of >= 5 samples.
+        assert!(t.node_count() <= 3, "got {} nodes", t.node_count());
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_apart() {
+        let x = FeatureMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![0.0, 10.0, 0.0, 10.0];
+        let t = fit(&x, &y, &TreeConfig::default());
+        assert_eq!(t.node_count(), 1, "identical rows cannot be separated");
+        assert_eq!(t.predict(&[1.0]), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn predictions_stay_within_target_range(
+            ys in proptest::collection::vec(-1000.0f64..1000.0, 2..60),
+        ) {
+            let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+            let x = FeatureMatrix::from_rows(&rows);
+            let t = fit(&x, &ys, &TreeConfig::default());
+            let (lo, hi) = ys.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            for row in x.rows() {
+                let p = t.predict(row);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+            }
+        }
+
+        #[test]
+        fn full_depth_tree_interpolates_training_data(
+            ys in proptest::collection::vec(-100.0f64..100.0, 2..40),
+        ) {
+            // Distinct feature values + unlimited depth => zero training error.
+            let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+            let x = FeatureMatrix::from_rows(&rows);
+            let t = fit(&x, &ys, &TreeConfig { max_depth: 64, ..TreeConfig::default() });
+            for (i, row) in x.rows().enumerate() {
+                prop_assert!((t.predict(row) - ys[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

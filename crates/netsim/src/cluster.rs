@@ -1,0 +1,197 @@
+//! A job's view of the machine: topology + parameters + allocation.
+
+use crate::params::NetworkParams;
+use crate::topology::{Allocation, Layer, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulator needs to price a message between two ranks:
+/// the machine shape, the network constants, the nodes this job holds,
+/// and the job's placement-dependent latency factor (the paper measured
+/// more than 2x latency variation across Theta allocations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Machine shape.
+    pub topology: Topology,
+    /// Network performance constants.
+    pub params: NetworkParams,
+    /// Nodes held by this job, in logical order.
+    pub allocation: Allocation,
+    /// Placement-dependent multiplier on inter-node latency (>= 1).
+    pub job_latency_factor: f64,
+    /// Fraction of the layer-3 (rack-pair) link bandwidth consumed by
+    /// *other* jobs sharing the machine (0 = idle machine). The paper's
+    /// Sec. IV-D expects third-layer congestion from co-running
+    /// applications on a production system.
+    #[serde(default)]
+    pub background_global_utilization: f64,
+}
+
+impl Cluster {
+    /// A cluster using every node of the topology contiguously, with a
+    /// neutral placement factor.
+    pub fn whole_machine(topology: Topology, params: NetworkParams) -> Self {
+        let allocation = Allocation::contiguous(&topology, topology.total_nodes());
+        Cluster {
+            topology,
+            params,
+            allocation,
+            job_latency_factor: 1.0,
+            background_global_utilization: 0.0,
+        }
+    }
+
+    /// The 64-node, 32-core machine used for the paper's simulated
+    /// comparisons (Sec. II-A): 4 racks of 16 nodes.
+    pub fn bebop_like() -> Self {
+        Cluster::whole_machine(Topology::new(16, 4), NetworkParams::bebop_like())
+    }
+
+    /// A Theta-flavored slice: 128 nodes over 8 racks (Sec. VI-E uses up
+    /// to 128 nodes, 16 PPN, 1 MB messages).
+    pub fn theta_like() -> Self {
+        Cluster::whole_machine(Topology::new(16, 8), NetworkParams::theta_like())
+    }
+
+    /// Number of nodes available to the job.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.allocation.len()
+    }
+
+    /// Global node hosting `rank` under block rank placement (MPICH
+    /// default: ranks `0..ppn` on node 0, the next `ppn` on node 1, …).
+    #[inline]
+    pub fn node_of_rank(&self, rank: u32, ppn: u32) -> u32 {
+        self.allocation.node(rank / ppn)
+    }
+
+    /// Network layer between two ranks.
+    #[inline]
+    pub fn layer_between_ranks(&self, a: u32, b: u32, ppn: u32) -> Layer {
+        self.topology
+            .layer_between(self.node_of_rank(a, ppn), self.node_of_rank(b, ppn))
+    }
+
+    /// Latency between two ranks including the job placement factor.
+    #[inline]
+    pub fn latency_between_ranks(&self, a: u32, b: u32, ppn: u32) -> f64 {
+        self.params
+            .latency(self.layer_between_ranks(a, b, ppn), self.job_latency_factor)
+    }
+
+    /// A cluster restricted to a logical node sub-range (used to run a
+    /// benchmark on part of the allocation).
+    pub fn sub_cluster(&self, start_node: u32, count: u32) -> Cluster {
+        Cluster {
+            topology: self.topology,
+            params: self.params.clone(),
+            allocation: self.allocation.slice(start_node, count),
+            job_latency_factor: self.job_latency_factor,
+            background_global_utilization: self.background_global_utilization,
+        }
+    }
+
+    /// Same machine with a different placement-latency factor.
+    pub fn with_job_latency_factor(mut self, factor: f64) -> Cluster {
+        assert!(factor >= 1.0, "placement can only add latency");
+        self.job_latency_factor = factor;
+        self
+    }
+
+    /// Same machine with a different allocation.
+    pub fn with_allocation(mut self, allocation: Allocation) -> Cluster {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Same machine with co-running jobs consuming a fraction of the
+    /// layer-3 links.
+    pub fn with_background_utilization(mut self, utilization: f64) -> Cluster {
+        assert!(
+            (0.0..1.0).contains(&utilization),
+            "utilization must be in [0, 1)"
+        );
+        self.background_global_utilization = utilization;
+        self
+    }
+
+    /// Layer-3 link bandwidth left for this job (B/µs).
+    #[inline]
+    pub fn effective_global_bandwidth(&self) -> f64 {
+        self.params.global_link_bandwidth * (1.0 - self.background_global_utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_rank_placement() {
+        let c = Cluster::bebop_like();
+        assert_eq!(c.node_of_rank(0, 4), 0);
+        assert_eq!(c.node_of_rank(3, 4), 0);
+        assert_eq!(c.node_of_rank(4, 4), 1);
+        assert_eq!(c.node_of_rank(63, 4), 15);
+    }
+
+    #[test]
+    fn layer_between_ranks_tracks_allocation() {
+        let c = Cluster::bebop_like();
+        assert_eq!(c.layer_between_ranks(0, 1, 2), Layer::IntraNode);
+        assert_eq!(c.layer_between_ranks(0, 2, 2), Layer::IntraRack);
+        // ppn=1: rank 16 lives on node 16 = rack 1 (same pair as rack 0).
+        assert_eq!(c.layer_between_ranks(0, 16, 1), Layer::IntraPair);
+        // node 32 = rack 2, other pair.
+        assert_eq!(c.layer_between_ranks(0, 32, 1), Layer::Global);
+    }
+
+    #[test]
+    fn job_latency_factor_scales_internode_only() {
+        let base = Cluster::bebop_like();
+        let slow = base.clone().with_job_latency_factor(2.0);
+        assert_eq!(
+            slow.latency_between_ranks(0, 1, 2),
+            base.latency_between_ranks(0, 1, 2),
+            "intra-node latency must not change"
+        );
+        assert_eq!(
+            slow.latency_between_ranks(0, 2, 2),
+            base.latency_between_ranks(0, 2, 2) * 2.0
+        );
+    }
+
+    #[test]
+    fn background_utilization_derates_layer3_only() {
+        let c = Cluster::bebop_like().with_background_utilization(0.5);
+        assert_eq!(
+            c.effective_global_bandwidth(),
+            c.params.global_link_bandwidth * 0.5
+        );
+        let idle = Cluster::bebop_like();
+        assert_eq!(
+            idle.effective_global_bandwidth(),
+            idle.params.global_link_bandwidth
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in")]
+    fn full_utilization_rejected() {
+        let _ = Cluster::bebop_like().with_background_utilization(1.0);
+    }
+
+    #[test]
+    fn sub_cluster_re_addresses_nodes() {
+        let c = Cluster::bebop_like();
+        let s = c.sub_cluster(16, 16); // rack 1
+        assert_eq!(s.num_nodes(), 16);
+        assert_eq!(s.node_of_rank(0, 1), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "only add latency")]
+    fn latency_factor_below_one_rejected() {
+        let _ = Cluster::bebop_like().with_job_latency_factor(0.5);
+    }
+}

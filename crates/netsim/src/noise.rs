@@ -1,0 +1,138 @@
+//! Deterministic measurement-noise model.
+//!
+//! Real microbenchmark measurements fluctuate run to run (OS jitter,
+//! third-layer congestion from co-running jobs — Sec. IV-D of the paper
+//! explicitly accepts such congestion and compensates by measuring each
+//! point multiple times). We model a measurement as the simulator's
+//! deterministic time multiplied by a lognormal factor, with an optional
+//! rare congestion spike, all driven by a seeded RNG.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative lognormal measurement noise with rare congestion spikes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the underlying normal (0 disables noise).
+    pub sigma: f64,
+    /// Probability that a single measurement hits a congestion spike.
+    pub spike_probability: f64,
+    /// Multiplier applied on a spike (e.g. 2.0 doubles the time).
+    pub spike_factor: f64,
+}
+
+impl NoiseModel {
+    /// Typical production noise: ~5% jitter, 1% chance of a 2.5x spike.
+    pub fn production() -> Self {
+        NoiseModel {
+            sigma: 0.05,
+            spike_probability: 0.01,
+            spike_factor: 2.5,
+        }
+    }
+
+    /// Mild noise for simulated-comparison experiments.
+    pub fn mild() -> Self {
+        NoiseModel {
+            sigma: 0.03,
+            spike_probability: 0.0,
+            spike_factor: 1.0,
+        }
+    }
+
+    /// No noise at all; measurements equal the simulator's output.
+    pub fn none() -> Self {
+        NoiseModel {
+            sigma: 0.0,
+            spike_probability: 0.0,
+            spike_factor: 1.0,
+        }
+    }
+
+    /// Draw one multiplicative noise factor.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut factor = if self.sigma > 0.0 {
+            // Box-Muller transform; mean-one lognormal.
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (self.sigma * z - 0.5 * self.sigma * self.sigma).exp()
+        } else {
+            1.0
+        };
+        if self.spike_probability > 0.0 && rng.random::<f64>() < self.spike_probability {
+            factor *= self.spike_factor;
+        }
+        factor
+    }
+
+    /// Apply noise to a deterministic time.
+    #[inline]
+    pub fn perturb<R: Rng + ?Sized>(&self, time_us: f64, rng: &mut R) -> f64 {
+        time_us * self.sample(rng)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::mild()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = NoiseModel::none();
+        for _ in 0..16 {
+            assert_eq!(n.perturb(42.0, &mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_mean_one_ish() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = NoiseModel::mild();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn noise_is_always_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = NoiseModel::production();
+        assert!((0..10_000).all(|_| n.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = NoiseModel {
+            sigma: 0.0,
+            spike_probability: 0.1,
+            spike_factor: 3.0,
+        };
+        let spikes = (0..50_000).filter(|_| n.sample(&mut rng) > 2.0).count();
+        let rate = spikes as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "spike rate was {rate}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let n = NoiseModel::production();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| n.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..32).map(|_| n.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Communication-schedule representation shared by the simulators.
+//!
+//! A collective algorithm is described as a sequence of *rounds*; each
+//! round is a set of point-to-point messages between ranks, optionally
+//! with a local reduction at the receiver. Ranks synchronize per round
+//! in [`crate::roundsim`]; the flow-level DES in [`crate::des`] relaxes
+//! that to per-rank dataflow (a rank enters its next round as soon as its
+//! own round messages complete).
+//!
+//! Schedules can be *streamed*: generators produce each round into a
+//! reusable buffer so that large schedules (a 2048-rank ring allgather
+//! has ~4M messages) never materialize in memory at once.
+
+/// One point-to-point message between two ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Bytes the receiver must combine with a reduction operator after
+    /// the payload arrives (0 for pure data movement).
+    pub reduce_bytes: u64,
+}
+
+impl Msg {
+    /// A pure data-movement message.
+    #[inline]
+    pub fn data(src: u32, dst: u32, bytes: u64) -> Msg {
+        Msg {
+            src,
+            dst,
+            bytes,
+            reduce_bytes: 0,
+        }
+    }
+
+    /// A message whose payload is reduced into the receiver's buffer.
+    #[inline]
+    pub fn reducing(src: u32, dst: u32, bytes: u64) -> Msg {
+        Msg {
+            src,
+            dst,
+            bytes,
+            reduce_bytes: bytes,
+        }
+    }
+}
+
+/// A streaming communication schedule.
+pub trait Schedule {
+    /// Number of ranks participating (ranks are `0..num_ranks`).
+    fn num_ranks(&self) -> u32;
+
+    /// Visit every round in order. The slice passed to `visit` is only
+    /// valid for the duration of the call (generators reuse buffers).
+    fn visit_rounds(&self, visit: &mut dyn FnMut(&[Msg]));
+
+    /// Bytes each rank copies locally after the last round (e.g. the
+    /// final buffer rotation of the Bruck allgather). Zero by default.
+    fn epilogue_local_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Total number of messages across all rounds.
+    fn message_count(&self) -> u64 {
+        let mut n = 0u64;
+        self.visit_rounds(&mut |round| n += round.len() as u64);
+        n
+    }
+
+    /// Total payload bytes moved across all rounds.
+    fn total_bytes(&self) -> u64 {
+        let mut n = 0u64;
+        self.visit_rounds(&mut |round| n += round.iter().map(|m| m.bytes).sum::<u64>());
+        n
+    }
+
+    /// Materialize the schedule (for the DES or for inspection in tests).
+    fn materialize(&self) -> MaterializedSchedule {
+        let mut rounds = Vec::new();
+        self.visit_rounds(&mut |round| rounds.push(round.to_vec()));
+        MaterializedSchedule {
+            num_ranks: self.num_ranks(),
+            rounds,
+            epilogue_local_bytes: self.epilogue_local_bytes(),
+        }
+    }
+}
+
+/// A fully materialized schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedSchedule {
+    /// Number of participating ranks.
+    pub num_ranks: u32,
+    /// Message sets, one per round.
+    pub rounds: Vec<Vec<Msg>>,
+    /// Per-rank local copy after the final round (bytes).
+    pub epilogue_local_bytes: u64,
+}
+
+impl MaterializedSchedule {
+    /// A schedule with no epilogue copy.
+    pub fn new(num_ranks: u32, rounds: Vec<Vec<Msg>>) -> Self {
+        MaterializedSchedule {
+            num_ranks,
+            rounds,
+            epilogue_local_bytes: 0,
+        }
+    }
+
+    /// Validate structural invariants every well-formed collective
+    /// schedule must satisfy; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (r, round) in self.rounds.iter().enumerate() {
+            for m in round {
+                if m.src >= self.num_ranks || m.dst >= self.num_ranks {
+                    return Err(format!(
+                        "round {r}: message {}->{} outside 0..{}",
+                        m.src, m.dst, self.num_ranks
+                    ));
+                }
+                if m.src == m.dst {
+                    return Err(format!("round {r}: self-message on rank {}", m.src));
+                }
+                if m.reduce_bytes > m.bytes {
+                    return Err(format!(
+                        "round {r}: reduce_bytes {} exceeds payload {}",
+                        m.reduce_bytes, m.bytes
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Schedule for MaterializedSchedule {
+    fn num_ranks(&self) -> u32 {
+        self.num_ranks
+    }
+
+    fn visit_rounds(&self, visit: &mut dyn FnMut(&[Msg])) {
+        for round in &self.rounds {
+            visit(round);
+        }
+    }
+
+    fn epilogue_local_bytes(&self) -> u64 {
+        self.epilogue_local_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_round_schedule() -> MaterializedSchedule {
+        MaterializedSchedule {
+            num_ranks: 4,
+            rounds: vec![
+                vec![Msg::data(0, 1, 100), Msg::data(2, 3, 100)],
+                vec![Msg::reducing(1, 0, 50)],
+            ],
+            epilogue_local_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn counts_and_bytes() {
+        let s = two_round_schedule();
+        assert_eq!(s.message_count(), 3);
+        assert_eq!(s.total_bytes(), 250);
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let s = two_round_schedule();
+        assert_eq!(s.materialize(), s);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(two_round_schedule().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rank() {
+        let s = MaterializedSchedule::new(2, vec![vec![Msg::data(0, 5, 1)]]);
+        assert!(s.validate().unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn validate_rejects_self_message() {
+        let s = MaterializedSchedule::new(2, vec![vec![Msg::data(1, 1, 1)]]);
+        assert!(s.validate().unwrap_err().contains("self-message"));
+    }
+
+    #[test]
+    fn validate_rejects_reduce_larger_than_payload() {
+        let s = MaterializedSchedule::new(
+            2,
+            vec![vec![Msg {
+                src: 0,
+                dst: 1,
+                bytes: 10,
+                reduce_bytes: 20,
+            }]],
+        );
+        assert!(s.validate().unwrap_err().contains("exceeds payload"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The full production flow of Fig. 1(b): a user submits an application
+//! job through ACCLAiM; the autotuner trains at job start, emits the
+//! tuning file, the application runs under it, and the report accounts
+//! whether the training time paid for itself.
+//!
+//! ```text
+//! cargo run --release --example job_submission
+//! ```
+
+use acclaim::core::application_impact;
+use acclaim::dataset::traces::{self, min_runtime_for_profit};
+use acclaim::prelude::*;
+
+fn main() {
+    // The job request: AMG-like application, 32 nodes x 16 ppn, and the
+    // user's collective list (the one extra input ACCLAiM needs).
+    let (nodes, ppn) = (32u32, 16u32);
+    let trace = traces::synthetic_trace("AMG", 64, 1 << 20).expect("trace exists");
+    let collectives = trace.collectives();
+    println!(
+        "job: AMG-like, {nodes} nodes x {ppn} ppn; collectives: {:?}",
+        collectives.iter().map(|c| c.name()).collect::<Vec<_>>()
+    );
+
+    // The allocation Theta's best-effort scheduler gave us (random
+    // placement => elevated latency, as the paper measured).
+    let machine = Cluster::theta_like();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2022);
+    let allocation = Allocation::random(&machine.topology, nodes, &mut rng);
+    let cluster = machine
+        .with_allocation(allocation)
+        .with_job_latency_factor(1.8)
+        .with_background_utilization(0.3); // other jobs share layer 3
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster,
+        bench: MicrobenchConfig::default(),
+        noise: NoiseModel::production(),
+        seed: 77,
+    });
+
+    // Phase 1: train (parallel collection + variance convergence).
+    let space = FeatureSpace::new(
+        vec![2, 4, 8, 16, 32],
+        (0..=4).map(|e| 1u32 << e).collect(),
+        (6..=20).map(|e| 1u64 << e).collect(),
+    );
+    println!("\n[1/3] training ...");
+    let tuning = Acclaim::new(AcclaimConfig::new(space)).tune(&db, &collectives);
+    print!("{}", tuning.summary());
+    let training_us = tuning.training_wall_us();
+
+    // Phase 2: run the application under the tuned selections.
+    println!("\n[2/3] running the application ...");
+    let impact = application_impact(&db, &trace, nodes, ppn, &tuning.selector());
+    println!(
+        "collective time/iteration: default {:.1} ms -> tuned {:.1} ms ({:.2}x)",
+        impact.default_us / 1e3,
+        impact.tuned_us / 1e3,
+        impact.collective_speedup()
+    );
+
+    // Phase 3: net-benefit accounting (Fig. 15's question).
+    println!("\n[3/3] net benefit:");
+    for &fraction in &[0.3f64, 0.5] {
+        let s = impact.app_speedup(fraction);
+        if s <= 1.0 {
+            println!(
+                "  {:.0}% collective fraction: no speedup from tuning on this job",
+                fraction * 100.0
+            );
+            continue;
+        }
+        let min_rt = min_runtime_for_profit(training_us, s);
+        println!(
+            "  {:.0}% collective fraction: app speedup {:.4}x -> profitable for runs >= {:.1} h \
+             (training cost {:.1} min)",
+            fraction * 100.0,
+            s,
+            min_rt / 3.6e9,
+            training_us / 6e7,
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: tune one collective on a small job and inspect the
+//! generated MPICH tuning file.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use acclaim::prelude::*;
+
+fn main() {
+    // The job: 16 nodes of a Bebop-like cluster, with the placement
+    // latency the scheduler happened to give us.
+    let machine = Cluster::bebop_like();
+    let allocation = Allocation::contiguous(&machine.topology, 16);
+    let cluster = machine
+        .with_allocation(allocation)
+        .with_job_latency_factor(1.3);
+
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster,
+        bench: MicrobenchConfig::default(),
+        noise: NoiseModel::mild(),
+        seed: 42,
+    });
+
+    // The feature space ACCLAiM will learn: P2 grid bounded by the job.
+    let space = FeatureSpace::new(
+        vec![2, 4, 8, 16],
+        vec![1, 2, 4, 8],
+        (6..=20).map(|e| 1u64 << e).collect(), // 64 B ..= 1 MiB
+    );
+
+    // Train ACCLAiM for bcast (the user lists the collectives their
+    // application predominantly uses).
+    println!("training ACCLAiM for MPI_Bcast ...");
+    let acclaim = Acclaim::new(AcclaimConfig::new(space.clone()));
+    let tuning = acclaim.tune(&db, &[Collective::Bcast]);
+    println!("{}", tuning.summary());
+
+    // The deliverable: an MPICH-style JSON tuning file.
+    let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json()).unwrap();
+    println!("generated tuning file (excerpt):");
+    for line in json.lines().take(24) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    // Use the selector the way MPICH would at each collective call.
+    let selector = tuning.selector();
+    println!("selections on this job (16 nodes x 8 ppn):");
+    for &msg in &[256u64, 4_096, 65_536, 1 << 20] {
+        let p = Point::new(16, 8, msg);
+        let tuned = selector.select(Collective::Bcast, p);
+        let default = mpich_default(Collective::Bcast, p.ranks(), msg);
+        println!(
+            "  {msg:>8} B: tuned = {:<38} default = {:<38} (tuned slowdown {:.3}, default {:.3})",
+            tuned.name(),
+            default.name(),
+            db.slowdown(p, tuned),
+            db.slowdown(p, default),
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # ACCLAiM — ML-based MPI collective algorithm autotuning
+//!
+//! A from-scratch Rust reproduction of *"ACCLAiM: Advancing the
+//! Practicality of MPI Collective Communication Autotuning Using
+//! Machine Learning"* (Wilkins, Guo, Thakur, Dinda, Hardavellas —
+//! IEEE CLUSTER 2022), including every substrate the paper depends on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`netsim`] | Dragonfly cluster & network simulator (round + DES engines) |
+//! | [`collectives`] | 10 MPICH collective algorithms as message schedules |
+//! | [`ml`] | CART trees, random forests, jackknife variance |
+//! | [`dataset`] | feature space, benchmark database, traces |
+//! | [`core`] | the autotuner: selection, convergence, parallel collection, rules |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acclaim::prelude::*;
+//!
+//! // A small job: 8 nodes of a Bebop-like machine.
+//! let cluster = Cluster::bebop_like();
+//! let alloc = Allocation::contiguous(&cluster.topology, 8);
+//! let db = BenchmarkDatabase::new(DatasetConfig {
+//!     cluster: cluster.with_allocation(alloc),
+//!     bench: MicrobenchConfig::fast(),
+//!     noise: NoiseModel::mild(),
+//!     seed: 1,
+//! });
+//!
+//! // Tune bcast over a small grid and get the MPICH tuning file.
+//! let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 1024, 16384]);
+//! let mut config = AcclaimConfig::new(space);
+//! config.learner.max_iterations = 10; // keep the doctest quick
+//! let tuning = Acclaim::new(config).tune(&db, &[Collective::Bcast]);
+//!
+//! let selector = tuning.selector();
+//! let choice = selector.select(Collective::Bcast, Point::new(8, 2, 1024));
+//! assert_eq!(choice.collective(), Collective::Bcast);
+//! ```
+
+pub use acclaim_collectives as collectives;
+pub use acclaim_core as core;
+pub use acclaim_dataset as dataset;
+pub use acclaim_ml as ml;
+pub use acclaim_netsim as netsim;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use acclaim_collectives::{
+        mpich_default, Algorithm, Collective, Measurement, MicrobenchConfig,
+    };
+    pub use acclaim_core::{
+        application_impact, Acclaim, AcclaimConfig, ActiveLearner, Candidate,
+        CollectionStrategy, CriterionConfig, JobTuning, LearnerConfig, PerfModel,
+        SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
+        VarianceConvergence,
+    };
+    pub use acclaim_dataset::{
+        BenchmarkDatabase, DatasetConfig, FeatureSpace, Point, Sample,
+    };
+    pub use acclaim_ml::{average_slowdown, ForestConfig, RandomForest, CONVERGENCE_SLOWDOWN};
+    pub use acclaim_netsim::{
+        Allocation, Cluster, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
+    };
+}

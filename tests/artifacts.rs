@@ -1,0 +1,142 @@
+//! Integration tests for the two on-disk artifacts: the MPICH JSON
+//! tuning file and the benchmark-database snapshot — the pieces a
+//! production deployment would actually pass between job phases.
+
+use acclaim::core::collector::schedule_wave;
+use acclaim::core::{all_candidates, generate_rules, TunedSelector, TuningFile};
+use acclaim::prelude::*;
+
+fn db_on(nodes: u32) -> BenchmarkDatabase {
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, nodes);
+    BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.with_allocation(alloc),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::mild(),
+        seed: 4242,
+    })
+}
+
+#[test]
+fn tuning_file_round_trips_through_disk_and_selects_identically() {
+    let db = db_on(8);
+    let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 1_024, 16_384]);
+    let mut config = AcclaimConfig::new(space.clone());
+    config.learner.max_iterations = 15;
+    config.learner.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::for_n_features(5)
+    };
+    let tuning = Acclaim::new(config).tune(&db, &[Collective::Allreduce]);
+
+    let path = std::env::temp_dir().join("acclaim-artifact-tuning.json");
+    let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json()).unwrap();
+    std::fs::write(&path, &json).unwrap();
+
+    // A fresh process would do exactly this:
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = TuningFile::from_mpich_json(&serde_json::from_str(&text).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    let disk_selector = TunedSelector::new(parsed);
+    let live_selector = tuning.selector();
+
+    // Both on-grid and off-grid (non-P2) call sites resolve identically.
+    let mut probes = space.points();
+    probes.push(Point::new(5, 2, 3_000));
+    probes.push(Point::new(8, 1, 20_000));
+    for p in probes {
+        assert_eq!(
+            disk_selector.select(Collective::Allreduce, p),
+            live_selector.select(Collective::Allreduce, p),
+            "at {p}"
+        );
+    }
+}
+
+#[test]
+fn database_snapshot_supports_a_two_phase_workflow() {
+    // Phase 1: a "collection job" benchmarks and saves its dataset.
+    let path = std::env::temp_dir().join("acclaim-artifact-db.json");
+    let space = FeatureSpace::new(vec![2, 4], vec![1, 2], vec![64, 4_096]);
+    {
+        let db = db_on(4);
+        db.prefill(Collective::Reduce, &space);
+        db.save(&path).unwrap();
+    }
+
+    // Phase 2: an "analysis job" reloads it and reproduces the optimum
+    // at every point without re-benchmarking.
+    let db = BenchmarkDatabase::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(db.len(), space.len() * 2);
+    let fresh = db_on(4);
+    for p in space.points() {
+        assert_eq!(
+            db.best(Collective::Reduce, p).0,
+            fresh.best(Collective::Reduce, p).0,
+            "optimal algorithm must survive the snapshot at {p}"
+        );
+    }
+}
+
+#[test]
+fn parallel_waves_actually_form_on_multi_rack_allocations() {
+    // End-to-end check that the learner's parallel strategy produces
+    // multi-benchmark waves when the machine allows them.
+    let machine = Cluster::bebop_like(); // 4 racks x 16 nodes
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.clone(),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::mild(),
+        seed: 9,
+    });
+    let space = FeatureSpace::new(vec![2, 4, 8, 16], vec![1, 2], vec![64, 1_024]);
+    let mut cfg = LearnerConfig::acclaim().with_budget(40);
+    cfg.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::for_n_features(5)
+    };
+    let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+    assert!(
+        out.stats.average_parallelism() > 1.2,
+        "4 racks should host parallel waves: {}",
+        out.stats.average_parallelism()
+    );
+    assert!(out.stats.speedup() > 1.1, "speedup {}", out.stats.speedup());
+
+    // And the scheduler itself confirms >= 2 placements fit up front.
+    let cands = all_candidates(Collective::Bcast, &space);
+    let wave = schedule_wave(&machine.topology, &machine.allocation, &cands);
+    assert!(wave.parallelism() >= 2);
+}
+
+#[test]
+fn generated_rules_cover_arbitrary_runtime_call_sites() {
+    // Completeness in practice: any (collective, nodes, ppn, msg) an
+    // application could throw at the selector resolves to an algorithm
+    // of the right collective.
+    let db = db_on(8);
+    let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 1_024, 16_384]);
+    let mut cfg = LearnerConfig::acclaim_sequential().with_budget(30);
+    cfg.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::for_n_features(5)
+    };
+    let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+    let rules = generate_rules(&out.model, &space);
+    let selector = TunedSelector::new(TuningFile {
+        collectives: vec![rules],
+    });
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    for _ in 0..500 {
+        use rand::Rng;
+        let p = Point::new(
+            rng.random_range(1..=10),
+            rng.random_range(1..=4),
+            rng.random_range(1..=1 << 21),
+        );
+        for c in Collective::ALL {
+            assert_eq!(selector.select(c, p).collective(), c, "at {p}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Robustness tests: degenerate spaces, heavy measurement noise, and
+//! adversarial placements must degrade the autotuner gracefully, never
+//! panic it.
+
+use acclaim::prelude::*;
+
+fn learner(budget: usize) -> ActiveLearner {
+    let mut cfg = LearnerConfig::acclaim_sequential().with_budget(budget);
+    cfg.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::for_n_features(5)
+    };
+    cfg.max_iterations = 60;
+    ActiveLearner::new(cfg)
+}
+
+#[test]
+fn single_point_space_trains_and_selects() {
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, 4);
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.with_allocation(alloc),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::none(),
+        seed: 1,
+    });
+    let space = FeatureSpace::new(vec![4], vec![2], vec![1_024]);
+    let out = learner(5).train(&db, Collective::Reduce, &space, None);
+    // 2 algorithms x 1 point = 2 candidates; both get collected.
+    assert_eq!(out.collected.len(), 2);
+    let sel = out.model.select(Point::new(4, 2, 1_024));
+    assert_eq!(sel.collective(), Collective::Reduce);
+}
+
+#[test]
+fn production_noise_with_spikes_still_converges_reasonably() {
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, 8);
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.with_allocation(alloc),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel {
+            sigma: 0.10,
+            spike_probability: 0.05,
+            spike_factor: 3.0,
+        },
+        seed: 2,
+    });
+    let space = FeatureSpace::new(
+        vec![2, 4, 8],
+        vec![1, 2],
+        (6..=14).map(|e| 1u64 << e).collect(),
+    );
+    let out = learner(60).train(&db, Collective::Bcast, &space, None);
+    let pts = space.points();
+    let slowdown = db.average_slowdown(Collective::Bcast, &pts, |p| out.model.select(p));
+    // Heavy noise raises the floor but must not break selection wholesale.
+    assert!(slowdown < 1.5, "noisy training collapsed: {slowdown:.3}");
+}
+
+#[test]
+fn scattered_random_allocation_trains_without_panic() {
+    use rand::SeedableRng;
+    let machine = Cluster::bebop_like();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let alloc = Allocation::random(&machine.topology, 8, &mut rng);
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine
+            .with_allocation(alloc)
+            .with_job_latency_factor(2.5),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::mild(),
+        seed: 3,
+    });
+    let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 4_096]);
+    // Parallel strategy on a fragmented allocation: the scheduler must
+    // still form (possibly trivial) waves.
+    // The space holds 12 points x 2 algorithms = 24 candidates.
+    let mut cfg = LearnerConfig::acclaim().with_budget(20);
+    cfg.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::for_n_features(5)
+    };
+    let out = ActiveLearner::new(cfg).train(&db, Collective::Allreduce, &space, None);
+    assert!(out.stats.points >= 20, "collected {}", out.stats.points);
+    assert!(out.stats.average_parallelism() >= 1.0);
+}
+
+#[test]
+fn two_rank_jobs_are_tunable() {
+    // The smallest meaningful job: 2 nodes, 1 ppn.
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, 2);
+    let db = BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.with_allocation(alloc),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::none(),
+        seed: 4,
+    });
+    let space = FeatureSpace::new(vec![2], vec![1], vec![64, 1_024, 16_384]);
+    let mut config = AcclaimConfig::new(space);
+    config.learner = LearnerConfig {
+        forest: ForestConfig {
+            n_trees: 16,
+            ..ForestConfig::for_n_features(5)
+        },
+        max_iterations: 20,
+        ..config.learner
+    };
+    let tuning = Acclaim::new(config).tune(&db, &Collective::ALL);
+    let selector = tuning.selector();
+    for c in Collective::ALL {
+        let a = selector.select(c, Point::new(2, 1, 1_024));
+        assert_eq!(a.collective(), c);
+    }
+}
+
+#[test]
+fn extreme_latency_factor_flips_selections_toward_binomial() {
+    // The paper's core motivation: the same job shape on a bad
+    // placement should prefer fewer, larger messages. Verify the
+    // *database truth* moves that way for reduce at a mid size.
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, 16);
+    let make_db = |factor: f64, seed: u64| {
+        BenchmarkDatabase::new(DatasetConfig {
+            cluster: machine
+                .clone()
+                .with_allocation(alloc.clone())
+                .with_job_latency_factor(factor),
+            bench: MicrobenchConfig::fast(),
+            noise: NoiseModel::none(),
+            seed,
+        })
+    };
+    let near = make_db(1.0, 5);
+    let far = make_db(30.0, 5);
+    let p = Point::new(16, 1, 16_384);
+    let t_near = near.time(Algorithm::ReduceScatterGather, p)
+        / near.time(Algorithm::ReduceBinomial, p);
+    let t_far = far.time(Algorithm::ReduceScatterGather, p)
+        / far.time(Algorithm::ReduceBinomial, p);
+    assert!(
+        t_far > t_near,
+        "latency must shift the race toward binomial: near {t_near:.3} far {t_far:.3}"
+    );
+}
