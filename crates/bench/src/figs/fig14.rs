@@ -2,29 +2,49 @@
 //! production slice (up to 128 nodes, 16 PPN, 1 MB messages): full
 //! pipeline with parallel collection and variance convergence. The
 //! practicality claim: minutes, not the many hours the prior art needs.
+//!
+//! Training time is reported in two parts: (simulated) benchmark
+//! collection time and (real) model-update time — the cost of refitting
+//! the forest and rescanning candidate variances each iteration, which
+//! the incremental refit path keeps negligible next to collection.
 
 use crate::{fmt_secs, table};
 use acclaim_collectives::Collective;
 use acclaim_core::{Acclaim, AcclaimConfig};
 use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace};
 
-/// The production training run backing Figs. 14 and 15: per-collective
-/// wall time in µs plus collection statistics.
-pub fn production_training() -> Vec<(Collective, f64, usize, f64, bool)> {
+/// One collective's outcome in the production run backing Figs. 14/15.
+pub struct ProductionRun {
+    /// The tuned collective.
+    pub collective: Collective,
+    /// Total machine time: training + test collection (µs, simulated).
+    pub wall_us: f64,
+    /// Model-update wall time: forest refits + variance scans (µs,
+    /// real clock).
+    pub model_update_us: f64,
+    /// Training points collected.
+    pub points: usize,
+    /// Average collection parallelism.
+    pub parallelism: f64,
+    /// Whether the variance criterion fired.
+    pub converged: bool,
+}
+
+/// The production training run backing Figs. 14 and 15.
+pub fn production_training() -> Vec<ProductionRun> {
     let db = BenchmarkDatabase::new(DatasetConfig::production());
     let space = FeatureSpace::p2_production();
     let tuning = Acclaim::new(AcclaimConfig::new(space)).tune(&db, &Collective::ALL);
     tuning
         .reports
         .iter()
-        .map(|(c, o)| {
-            (
-                *c,
-                o.total_wall_us(),
-                o.stats.points,
-                o.stats.average_parallelism(),
-                o.converged,
-            )
+        .map(|(c, o)| ProductionRun {
+            collective: *c,
+            wall_us: o.total_wall_us(),
+            model_update_us: o.model_update_wall_us,
+            points: o.stats.points,
+            parallelism: o.stats.average_parallelism(),
+            converged: o.converged,
         })
         .collect()
 }
@@ -34,19 +54,23 @@ pub fn run() -> String {
     let results = production_training();
     let mut rows = Vec::new();
     let mut total = 0.0;
-    for (c, wall, points, par, converged) in &results {
-        total += wall;
+    let mut total_update = 0.0;
+    for r in &results {
+        total += r.wall_us;
+        total_update += r.model_update_us;
         rows.push(vec![
-            c.name().to_string(),
-            fmt_secs(*wall),
-            format!("{points}"),
-            format!("{par:.2}"),
-            if *converged { "yes" } else { "cap" }.to_string(),
+            r.collective.name().to_string(),
+            fmt_secs(r.wall_us),
+            fmt_secs(r.model_update_us),
+            format!("{}", r.points),
+            format!("{:.2}", r.parallelism),
+            if r.converged { "yes" } else { "cap" }.to_string(),
         ]);
     }
     rows.push(vec![
         "total".to_string(),
         fmt_secs(total),
+        fmt_secs(total_update),
         String::new(),
         String::new(),
         String::new(),
@@ -57,12 +81,21 @@ pub fn run() -> String {
          (16 PPN, messages to 1 MB; parallel collection + variance convergence)\n\n",
     );
     out.push_str(&table(
-        &["collective", "training time", "points", "avg parallel", "converged"],
+        &[
+            "collective",
+            "collection time",
+            "model update",
+            "points",
+            "avg parallel",
+            "converged",
+        ],
         &rows,
     ));
     out.push_str(
         "\npaper shape: training completes in minutes per collective on the production\n\
-         machine — versus the ~24 hours estimated for the prior state of the art.\n",
+         machine — versus the ~24 hours estimated for the prior state of the art.\n\
+         The model-update column (incremental forest refit + cached variance scan)\n\
+         stays far below the collection time, so learning never gates the machine.\n",
     );
     out
 }

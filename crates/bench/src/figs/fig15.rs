@@ -13,14 +13,14 @@ pub fn run() -> String {
     let speedups = [1.005f64, 1.01, 1.02, 1.05, 1.10];
 
     let mut rows = Vec::new();
-    for (c, wall, _, _, _) in &results {
-        let mut cells = vec![c.name().to_string()];
+    for r in &results {
+        let mut cells = vec![r.collective.name().to_string()];
         for &s in &speedups {
-            cells.push(format!("{:.2} h", min_runtime_for_profit(*wall, s) / 3.6e9));
+            cells.push(format!("{:.2} h", min_runtime_for_profit(r.wall_us, s) / 3.6e9));
         }
         rows.push(cells);
     }
-    let total: f64 = results.iter().map(|(_, w, _, _, _)| w).sum();
+    let total: f64 = results.iter().map(|r| r.wall_us).sum();
     let mut cells = vec!["all four".to_string()];
     for &s in &speedups {
         cells.push(format!("{:.2} h", min_runtime_for_profit(total, s) / 3.6e9));

@@ -1,0 +1,188 @@
+//! Offline subset of `criterion`: enough of the API to compile and run
+//! the workspace's `harness = false` bench targets.
+//!
+//! No statistical machinery — each benchmark is timed with an adaptive
+//! iteration count and the mean wall-clock time per iteration is
+//! printed. Good for relative comparisons (the only thing the repo's
+//! benches assert on), not for rigorous confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark registry / runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 100, &mut body);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a prefix and sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower/raise the per-benchmark sample budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `body` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.sample_size, &mut |b| body(b, input));
+        self
+    }
+
+    /// Benchmark a closure under a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut body);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; a no-op offline).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id that is just the parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// The timing handle passed to benchmark bodies.
+pub struct Bencher {
+    mean_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, adaptively picking an iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Size the measured run off the estimate and the sample budget:
+        // aim for ~2ms per sample block, `sample_size` blocks, capped to
+        // keep slow benchmarks (whole autotuning runs) tractable.
+        let block_iters = (2e6 / est_ns).ceil().max(1.0) as u64;
+        let blocks = self.sample_size.clamp(1, 100) as u64;
+        let total_budget_ns = 2e8; // 200ms ceiling per benchmark
+        let max_total = (total_budget_ns / est_ns).ceil().max(1.0) as u64;
+        let total_iters = (block_iters * blocks).min(max_total).max(1);
+
+        let start = Instant::now();
+        for _ in 0..total_iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, body: &mut F) {
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        sample_size,
+    };
+    body(&mut bencher);
+    let mean = bencher.mean_ns;
+    if mean >= 1e9 {
+        println!("  {name:<48} {:>12.3} s/iter", mean / 1e9);
+    } else if mean >= 1e6 {
+        println!("  {name:<48} {:>12.3} ms/iter", mean / 1e6);
+    } else if mean >= 1e3 {
+        println!("  {name:<48} {:>12.3} us/iter", mean / 1e3);
+    } else {
+        println!("  {name:<48} {:>12.1} ns/iter", mean);
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given group(s).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        let mut measured = 0.0;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            measured = b.mean_ns;
+        });
+        group.finish();
+        assert!(measured > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,3 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};

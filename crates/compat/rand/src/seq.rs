@@ -1,0 +1,19 @@
+//! Sequence helpers (`SliceRandom`).
+
+use crate::distr::uniform_below;
+use crate::Rng;
+
+/// In-place slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}

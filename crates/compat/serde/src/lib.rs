@@ -1,0 +1,308 @@
+//! Offline subset of `serde`: a JSON-shaped value tree plus
+//! `Serialize`/`Deserialize` traits and derive macros.
+//!
+//! The build environment has no crates.io access. Upstream serde's
+//! visitor architecture is far more than this workspace needs, so the
+//! vendored subset maps every serializable type to a [`Value`] tree
+//! (the same data model `serde_json` exposes) and derives trait impls
+//! with a hand-rolled proc macro. Representations follow serde's JSON
+//! conventions: structs are objects, unit enum variants are strings,
+//! data-carrying variants are single-entry `{"Variant": ...}` objects,
+//! `Option` is `null`/value, and newtype structs are transparent.
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialization to the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// A missing-field error.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) => items,
+            other => return Err(Error::expected("array", other)),
+        };
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    other => return Err(Error::expected("tuple array", other)),
+                };
+                let expect = [$($idx),+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected {expect}-tuple, got {} elements", items.len())));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            <(u8, f64)>::from_value(&(7u8, 0.5f64).to_value()).unwrap(),
+            (7, 0.5)
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Bool(true)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! JSON text emission (compact and two-space pretty printing).
+
+use serde::{Number, Value};
+
+/// Render `value` as JSON text. `indent` is `None` for compact output
+/// or `Some(level)` for pretty output indented two spaces per level.
+pub(crate) fn write(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    emit(value, indent, &mut out);
+    out
+}
+
+fn emit(value: &Value, indent: Option<usize>, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => emit_number(*n, out),
+        Value::String(s) => emit_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent.map(|l| l + 1), out);
+                emit(item, indent.map(|l| l + 1), out);
+            }
+            newline_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent.map(|l| l + 1), out);
+                emit_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(val, indent.map(|l| l + 1), out);
+            }
+            newline_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, out: &mut String) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn emit_number(n: Number, out: &mut String) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(f) => {
+            if f.is_finite() {
+                // `Display` for f64 is shortest-round-trip; force a
+                // fractional marker so the text parses back as a float.
+                let text = f.to_string();
+                out.push_str(&text);
+                if !text.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // serde_json convention: non-finite floats become null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -185,6 +185,7 @@ mod tests {
                 explore_every: None,
                 max_iterations: 40,
                 seed: 5,
+                incremental: true,
             },
             space: FeatureSpace::tiny(),
         }

@@ -18,14 +18,15 @@
 use crate::collector::{schedule_wave, CollectionStats};
 use crate::convergence::{SlowdownThreshold, VarianceConvergence};
 use crate::model::{PerfModel, TrainingSample};
-use crate::selection::{all_candidates, rank_by_variance, Candidate, NonP2Injector};
+use crate::selection::{all_candidates, Candidate, NonP2Injector, VarianceScanCache};
 use acclaim_collectives::Collective;
 use acclaim_dataset::{splits, BenchmarkDatabase, FeatureSpace, Point};
-use acclaim_ml::ForestConfig;
+use acclaim_ml::{ForestConfig, TreeUpdate};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// How the next training point is chosen.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,6 +102,14 @@ pub struct LearnerConfig {
     pub max_iterations: usize,
     /// RNG seed for seeding, exploration, and non-P2 draws.
     pub seed: u64,
+    /// Warm-start model refits between iterations: append the new
+    /// samples and rebuild only the trees whose hashed bootstrap drew
+    /// them, updating only their columns of the cached variance scan.
+    /// Decision-identical to scratch refits (same selections, same
+    /// convergence stop) — `false` exists to prove exactly that and to
+    /// measure the speedup.
+    #[serde(default)]
+    pub incremental: bool,
 }
 
 impl LearnerConfig {
@@ -117,6 +126,7 @@ impl LearnerConfig {
             explore_every: Some(4),
             max_iterations: 400,
             seed: 0xACC,
+            incremental: true,
         }
     }
 
@@ -152,6 +162,7 @@ impl LearnerConfig {
             explore_every: None,
             max_iterations: 400,
             seed: 0xFAC7,
+            incremental: true,
         }
     }
 
@@ -174,6 +185,12 @@ pub struct IterationRecord {
     pub wall_us: f64,
     /// Cumulative jackknife variance over the remaining candidates.
     pub cumulative_variance: f64,
+    /// Wall time (µs, real clock) this iteration spent updating the
+    /// model and the variance scan — the paper's "model update" cost,
+    /// reported separately from (simulated) collection time so the
+    /// training-time split of Fig. 14 can be shown.
+    #[serde(default)]
+    pub model_update_us: f64,
     /// Average slowdown on the caller's evaluation set (oracle quality,
     /// free of charge), if one was provided.
     pub oracle_slowdown: Option<f64>,
@@ -198,6 +215,9 @@ pub struct TrainingOutcome {
     /// Wall time spent collecting the test set, when the criterion
     /// required one (µs).
     pub test_wall_us: f64,
+    /// Total real wall time spent on model updates (fits/refits plus
+    /// variance scans), across all iterations (µs).
+    pub model_update_wall_us: f64,
 }
 
 impl TrainingOutcome {
@@ -350,13 +370,35 @@ impl ActiveLearner {
         let mut explore_counter = 0usize;
         let mut surrogate_order: Vec<Candidate> = Vec::new();
         let mut surrogate_age = 0usize;
+        let mut model: Option<PerfModel> = None;
+        let mut cache = VarianceScanCache::new(remaining.clone());
+        let mut surrogate_model: Option<PerfModel> = None;
+        let mut surrogate_cache: Option<VarianceScanCache> = None;
+        let mut model_update_wall_us = 0.0f64;
 
         for iteration in 0..cfg.max_iterations {
-            let model = PerfModel::fit(collective, &collected, &cfg.forest);
+            // Model update. With `incremental` the model warm-starts
+            // (only trees whose bootstrap drew a new sample refit) and
+            // the cached variance scan recomputes only their columns;
+            // otherwise everything rebuilds from scratch through the
+            // same cache, so both paths produce identical rankings.
+            let update_start = Instant::now();
+            let changed = match model.as_mut().filter(|_| cfg.incremental) {
+                Some(m) => m.fit_incremental(&collected, &cfg.forest),
+                None => {
+                    model = Some(PerfModel::fit(collective, &collected, &cfg.forest));
+                    TreeUpdate::full_refit(cfg.forest.n_trees)
+                }
+            };
+            let model = model.as_ref().expect("model fitted above");
+            cache.retain(|c| !collected_set.contains(c));
+            cache.refresh(model, &changed);
 
             // Primary-model ranking always feeds the convergence signal;
             // the *selection* order depends on the policy.
-            let primary_ranking = rank_by_variance(&model, &remaining);
+            let primary_ranking = cache.ranking();
+            let model_update_us = update_start.elapsed().as_secs_f64() * 1e6;
+            model_update_wall_us += model_update_us;
             let oracle_slowdown = eval_points
                 .map(|pts| db.average_slowdown(collective, pts, |p| model.select(p)));
             log.push(IterationRecord {
@@ -364,6 +406,7 @@ impl ActiveLearner {
                 samples: collected.len(),
                 wall_us: stats.wall_us,
                 cumulative_variance: primary_ranking.cumulative,
+                model_update_us,
                 oracle_slowdown,
                 wave_parallelism: last_parallelism,
             });
@@ -402,8 +445,25 @@ impl ActiveLearner {
                 } => {
                     let refresh = (*refresh).max(1);
                     if surrogate_order.is_empty() || surrogate_age.is_multiple_of(refresh) {
-                        let sm = PerfModel::fit(collective, &collected, surrogate);
-                        let sr = rank_by_variance(&sm, &remaining);
+                        // The surrogate refits (warm-started when
+                        // `incremental`) and keeps its own scan cache.
+                        let sur_start = Instant::now();
+                        let sur_changed =
+                            match surrogate_model.as_mut().filter(|_| cfg.incremental) {
+                                Some(m) => m.fit_incremental(&collected, surrogate),
+                                None => {
+                                    surrogate_model =
+                                        Some(PerfModel::fit(collective, &collected, surrogate));
+                                    TreeUpdate::full_refit(surrogate.n_trees)
+                                }
+                            };
+                        let sm = surrogate_model.as_ref().expect("surrogate fitted above");
+                        let sc = surrogate_cache
+                            .get_or_insert_with(|| VarianceScanCache::new(remaining.clone()));
+                        sc.retain(|c| !collected_set.contains(c));
+                        sc.refresh(sm, &sur_changed);
+                        let sr = sc.ranking();
+                        model_update_wall_us += sur_start.elapsed().as_secs_f64() * 1e6;
                         surrogate_order = sr.ranked.iter().map(|&(c, _)| c).collect();
                         // DeepHyper-style exploration: shuffle the head.
                         let k = (*top_k).min(surrogate_order.len());
@@ -469,7 +529,18 @@ impl ActiveLearner {
             stats.add_wave(&costs);
         }
 
-        let model = PerfModel::fit(collective, &collected, &cfg.forest);
+        // Final model. The warm-started model is bit-identical to a
+        // scratch fit on the full collection, so reuse it (catching up
+        // on any wave collected after the last in-loop refit).
+        let final_start = Instant::now();
+        let model = match model {
+            Some(mut m) if cfg.incremental => {
+                m.fit_incremental(&collected, &cfg.forest);
+                m
+            }
+            _ => PerfModel::fit(collective, &collected, &cfg.forest),
+        };
+        model_update_wall_us += final_start.elapsed().as_secs_f64() * 1e6;
         TrainingOutcome {
             model,
             log,
@@ -477,6 +548,7 @@ impl ActiveLearner {
             converged,
             stats,
             test_wall_us,
+            model_update_wall_us,
         }
     }
 }
@@ -507,6 +579,7 @@ mod tests {
             explore_every: None,
             max_iterations: 100,
             seed: 42,
+            incremental: true,
         }
     }
 
@@ -566,6 +639,7 @@ mod tests {
             explore_every: None,
             max_iterations: 200,
             seed: 7,
+            incremental: true,
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Allreduce, &space, None);
         let total_candidates = space.len() * 2;
@@ -602,6 +676,7 @@ mod tests {
             explore_every: None,
             max_iterations: 60,
             seed: 13,
+            incremental: true,
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
         assert!(out.test_wall_us > 0.0, "test set must cost machine time");

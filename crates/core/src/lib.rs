@@ -33,4 +33,6 @@ pub use learner::{
 };
 pub use model::{PerfModel, TrainingSample};
 pub use rules::{generate_rules, CollectiveRules, Rule, RuleSet, TunedSelector, TuningFile};
-pub use selection::{all_candidates, rank_by_variance, Candidate, NonP2Injector};
+pub use selection::{
+    all_candidates, rank_by_variance, Candidate, NonP2Injector, VarianceScanCache,
+};

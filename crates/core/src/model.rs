@@ -19,7 +19,7 @@
 
 use acclaim_collectives::{Algorithm, Collective};
 use acclaim_dataset::Point;
-use acclaim_ml::{jackknife_variance, FeatureMatrix, ForestConfig, RandomForest};
+use acclaim_ml::{jackknife_variance, FeatureMatrix, ForestConfig, RandomForest, TreeUpdate};
 use serde::{Deserialize, Serialize};
 
 /// One collected training sample.
@@ -34,22 +34,26 @@ pub struct TrainingSample {
 }
 
 /// A fitted per-collective performance model.
+///
+/// Keeps its feature matrix and targets alive between fits so that
+/// [`PerfModel::fit_incremental`] can append freshly collected samples
+/// and warm-start the forest refit ([`RandomForest::refit_incremental`])
+/// instead of rebuilding every tree from scratch.
 #[derive(Debug, Clone)]
 pub struct PerfModel {
     collective: Collective,
     forest: RandomForest,
+    x: FeatureMatrix,
+    y: Vec<f64>,
 }
 
 impl PerfModel {
-    /// Fit the model on the collected samples (all of one collective).
-    pub fn fit(
+    fn featurize(
         collective: Collective,
         samples: &[TrainingSample],
-        config: &ForestConfig,
-    ) -> Self {
-        assert!(!samples.is_empty(), "cannot fit a model on zero samples");
-        let mut x = FeatureMatrix::new(5);
-        let mut y = Vec::with_capacity(samples.len());
+        x: &mut FeatureMatrix,
+        y: &mut Vec<f64>,
+    ) {
         for s in samples {
             assert_eq!(
                 s.algorithm.collective(),
@@ -60,15 +64,100 @@ impl PerfModel {
             x.push_row(&s.point.features_with_algorithm(s.algorithm.index_within_collective()));
             y.push(s.time_us.ln());
         }
+    }
+
+    /// Fit the model on the collected samples (all of one collective).
+    pub fn fit(
+        collective: Collective,
+        samples: &[TrainingSample],
+        config: &ForestConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a model on zero samples");
+        let mut x = FeatureMatrix::new(5);
+        let mut y = Vec::with_capacity(samples.len());
+        Self::featurize(collective, samples, &mut x, &mut y);
         PerfModel {
             collective,
             forest: RandomForest::fit(config, &x, &y),
+            x,
+            y,
         }
+    }
+
+    /// Refit after new samples were appended to the collection.
+    ///
+    /// `samples` must extend the sequence this model was (re)fitted on:
+    /// the first `n` entries (where `n` is the previous sample count)
+    /// are assumed unchanged, and only the tail is featurized and pushed
+    /// into the stored matrix. The forest is then warm-started — trees
+    /// whose hashed bootstrap draws none of the new samples are kept
+    /// verbatim. Returns one [`TreeUpdate`] per changed tree (index plus
+    /// the feature-space region its predictions may have moved in),
+    /// which is exactly what a per-tree prediction cache must
+    /// invalidate.
+    ///
+    /// The result is bit-for-bit the model [`PerfModel::fit`] would
+    /// build on the full `samples` slice with the same `config`.
+    pub fn fit_incremental(
+        &mut self,
+        samples: &[TrainingSample],
+        config: &ForestConfig,
+    ) -> Vec<TreeUpdate> {
+        let fitted = self.y.len();
+        assert!(
+            samples.len() >= fitted,
+            "samples must only ever be appended ({} < {fitted})",
+            samples.len()
+        );
+        Self::featurize(self.collective, &samples[fitted..], &mut self.x, &mut self.y);
+        self.forest.refit_incremental(config, &self.x, &self.y)
     }
 
     /// The collective this model serves.
     pub fn collective(&self) -> Collective {
         self.collective
+    }
+
+    /// Number of trees in the underlying forest.
+    pub fn n_trees(&self) -> usize {
+        self.forest.n_trees()
+    }
+
+    /// Number of samples the model is currently fitted on.
+    pub fn n_samples(&self) -> usize {
+        self.y.len()
+    }
+
+    /// The feature row the model sees for a candidate (point +
+    /// algorithm index). Callers evaluating several trees at the same
+    /// candidate build this once and pass it to
+    /// [`PerfModel::tree_log_prediction`].
+    pub fn candidate_features(&self, point: Point, algorithm: Algorithm) -> [f64; 5] {
+        debug_assert_eq!(algorithm.collective(), self.collective);
+        point.features_with_algorithm(algorithm.index_within_collective())
+    }
+
+    /// Prediction of a single tree at a feature row (from
+    /// [`PerfModel::candidate_features`]), in log-time space — the unit
+    /// the jackknife variance is computed in. Used by the cached
+    /// variance scan to update only refitted columns.
+    pub fn tree_log_prediction(&self, tree: usize, features: &[f64]) -> f64 {
+        self.forest.tree_predict(tree, features)
+    }
+
+    /// All per-tree predictions at a candidate (log-time space), written
+    /// into `out`.
+    pub fn per_tree_log_predictions(
+        &self,
+        point: Point,
+        algorithm: Algorithm,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(algorithm.collective(), self.collective);
+        self.forest.predict_per_tree(
+            &point.features_with_algorithm(algorithm.index_within_collective()),
+            out,
+        );
     }
 
     /// Predicted execution time (µs) of `algorithm` at `point`.
@@ -168,6 +257,41 @@ mod tests {
             v_unseen > v_seen,
             "unseen corner must be more uncertain: {v_unseen} vs {v_seen}"
         );
+    }
+
+    #[test]
+    fn incremental_fit_matches_scratch_fit() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let all = samples_for(&db, Collective::Bcast);
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        let mut m = PerfModel::fit(Collective::Bcast, &all[..10], &cfg);
+        for upto in [11, 14, all.len()] {
+            let changed = m.fit_incremental(&all[..upto], &cfg);
+            let scratch = PerfModel::fit(Collective::Bcast, &all[..upto], &cfg);
+            assert!(changed.len() <= cfg.n_trees);
+            let mut scratch_preds = Vec::new();
+            let mut inc_preds = Vec::new();
+            for p in FeatureSpace::tiny().points() {
+                for &a in Collective::Bcast.algorithms() {
+                    scratch.per_tree_log_predictions(p, a, &mut scratch_preds);
+                    m.per_tree_log_predictions(p, a, &mut inc_preds);
+                    assert_eq!(inc_preds, scratch_preds, "divergence at n={upto}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appended")]
+    fn incremental_fit_rejects_shrinking_history() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let all = samples_for(&db, Collective::Bcast);
+        let cfg = ForestConfig::default();
+        let mut m = PerfModel::fit(Collective::Bcast, &all[..10], &cfg);
+        let _ = m.fit_incremental(&all[..5], &cfg);
     }
 
     #[test]

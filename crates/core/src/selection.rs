@@ -12,7 +12,9 @@
 use crate::model::PerfModel;
 use acclaim_collectives::{Algorithm, Collective};
 use acclaim_dataset::{FeatureSpace, Point};
+use acclaim_ml::{jackknife_variance, TreeUpdate};
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One selectable training candidate.
@@ -64,6 +66,131 @@ pub fn rank_by_variance(model: &PerfModel, candidates: &[Candidate]) -> Variance
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let cumulative = ranked.iter().map(|&(_, v)| v).sum();
     VarianceRanking { ranked, cumulative }
+}
+
+/// A cached candidate-space variance scan — the incremental counterpart
+/// of [`rank_by_variance`].
+///
+/// Holds the per-tree log-space prediction of every candidate (a
+/// candidates × trees matrix). After an incremental model refit only
+/// the columns of the refitted trees change, so [`VarianceScanCache::refresh`]
+/// updates those columns and leaves the rest untouched; the jackknife
+/// variances (and their cumulative sum, ACCLAiM's convergence signal)
+/// are then recomputed from the cache. Because an unchanged tree
+/// predicts bit-identically, a cached ranking equals the cold
+/// [`rank_by_variance`] scan exactly — same variances, same order, same
+/// cumulative sum.
+#[derive(Debug, Clone)]
+pub struct VarianceScanCache {
+    candidates: Vec<Candidate>,
+    /// Candidate-major per-tree predictions (row `i` = candidate `i`).
+    preds: Vec<f64>,
+    n_trees: usize,
+    filled: bool,
+}
+
+impl VarianceScanCache {
+    /// An empty cache over `candidates`; call
+    /// [`VarianceScanCache::refresh`] before ranking.
+    pub fn new(candidates: Vec<Candidate>) -> Self {
+        VarianceScanCache {
+            candidates,
+            preds: Vec::new(),
+            n_trees: 0,
+            filled: false,
+        }
+    }
+
+    /// The candidates currently cached, in row order.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Drop rows whose candidate fails `keep`, preserving the order of
+    /// the survivors (mirrors `Vec::retain` on the candidate list).
+    pub fn retain(&mut self, mut keep: impl FnMut(&Candidate) -> bool) {
+        let t = self.n_trees;
+        let mut w = 0;
+        for r in 0..self.candidates.len() {
+            if keep(&self.candidates[r]) {
+                if w != r {
+                    self.candidates[w] = self.candidates[r];
+                    if self.filled {
+                        self.preds.copy_within(r * t..(r + 1) * t, w * t);
+                    }
+                }
+                w += 1;
+            }
+        }
+        self.candidates.truncate(w);
+        if self.filled {
+            self.preds.truncate(w * t);
+        }
+    }
+
+    /// Bring the matrix up to date after a model (re)fit. `changed`
+    /// lists the trees refitted since the previous refresh (what
+    /// [`crate::model::PerfModel::fit_incremental`] returns), each with
+    /// the feature-space region its predictions may have moved in. Only
+    /// those (row, column) cells are recomputed — a candidate outside a
+    /// refitted tree's dirty region kept that tree's prediction
+    /// bit-for-bit, so its cached cell is already correct. The update
+    /// runs in place (no per-row allocation) over parallel row chunks.
+    /// The first refresh — or any refresh where the tree count moved or
+    /// every tree changed everywhere — fills the whole matrix.
+    pub fn refresh(&mut self, model: &PerfModel, changed: &[TreeUpdate]) {
+        let t = model.n_trees();
+        let full = !self.filled
+            || t != self.n_trees
+            || (changed.len() >= t && changed.iter().all(|u| u.dirty.is_whole()));
+        if !full && changed.is_empty() {
+            return;
+        }
+        if full {
+            self.preds.clear();
+            self.preds.resize(self.candidates.len() * t, 0.0);
+        }
+        let candidates = &self.candidates;
+        self.preds
+            .par_chunks_mut(t)
+            .enumerate()
+            .for_each(|(i, row)| {
+                let c = candidates[i];
+                let features = model.candidate_features(c.point, c.algorithm);
+                if full {
+                    for (tree, cell) in row.iter_mut().enumerate() {
+                        *cell = model.tree_log_prediction(tree, &features);
+                    }
+                } else {
+                    for u in changed {
+                        if u.dirty.contains(&features) {
+                            row[u.tree] = model.tree_log_prediction(u.tree, &features);
+                        }
+                    }
+                }
+            });
+        self.n_trees = t;
+        self.filled = true;
+    }
+
+    /// Rank the cached candidates by jackknife variance — bit-identical
+    /// to [`rank_by_variance`] over the same candidates and model.
+    pub fn ranking(&self) -> VarianceRanking {
+        assert!(
+            self.filled || self.candidates.is_empty(),
+            "refresh the cache before ranking"
+        );
+        let t = self.n_trees;
+        let mut ranked: Vec<(Candidate, f64)> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, jackknife_variance(&self.preds[i * t..(i + 1) * t])))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let cumulative = ranked.iter().map(|&(_, v)| v).sum();
+        VarianceRanking { ranked, cumulative }
+    }
 }
 
 /// A random non-P2 message size whose closest P2 value is `msg`
@@ -163,6 +290,79 @@ mod tests {
         let sum: f64 = r.ranked.iter().map(|&(_, v)| v).sum();
         assert!((sum - r.cumulative).abs() < 1e-12);
         assert!(r.top().is_some());
+    }
+
+    #[test]
+    fn cached_scan_equals_cold_scan_after_incremental_updates() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let space = FeatureSpace::tiny();
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        let all: Vec<TrainingSample> = space
+            .points()
+            .into_iter()
+            .flat_map(|p| {
+                Collective::Bcast.algorithms().iter().map(move |&a| (p, a))
+            })
+            .map(|(p, a)| TrainingSample {
+                point: p,
+                algorithm: a,
+                time_us: db.time(a, p),
+            })
+            .collect();
+        let cands = all_candidates(Collective::Bcast, &space);
+        let mut model = PerfModel::fit(Collective::Bcast, &all[..6], &cfg);
+        let mut cache = VarianceScanCache::new(cands.clone());
+        cache.refresh(&model, &TreeUpdate::full_refit(cfg.n_trees));
+        for upto in 7..=18 {
+            let changed = model.fit_incremental(&all[..upto], &cfg);
+            cache.refresh(&model, &changed);
+            let cached = cache.ranking();
+            let cold = rank_by_variance(&model, cache.candidates());
+            assert_eq!(cached, cold, "cache diverged at n={upto}");
+        }
+    }
+
+    #[test]
+    fn cache_retain_preserves_order_and_rows() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let space = FeatureSpace::tiny();
+        let samples: Vec<TrainingSample> = space
+            .points()
+            .into_iter()
+            .take(4)
+            .map(|p| TrainingSample {
+                point: p,
+                algorithm: Algorithm::BcastBinomial,
+                time_us: db.time(Algorithm::BcastBinomial, p),
+            })
+            .collect();
+        let model = PerfModel::fit(Collective::Bcast, &samples, &ForestConfig::default());
+        let cands = all_candidates(Collective::Bcast, &space);
+        let mut cache = VarianceScanCache::new(cands.clone());
+        cache.refresh(&model, &[]);
+        // Drop every third candidate; the survivors' ranking must match
+        // a cold scan over the same survivors.
+        let dropped: Vec<Candidate> = cands.iter().copied().step_by(3).collect();
+        cache.retain(|c| !dropped.contains(c));
+        let expected: Vec<Candidate> = cands
+            .iter()
+            .copied()
+            .filter(|c| !dropped.contains(c))
+            .collect();
+        assert_eq!(cache.candidates(), &expected[..]);
+        assert_eq!(cache.ranking(), rank_by_variance(&model, &expected));
+    }
+
+    #[test]
+    fn empty_cache_ranks_empty() {
+        let cache = VarianceScanCache::new(Vec::new());
+        let r = cache.ranking();
+        assert!(r.ranked.is_empty());
+        assert_eq!(r.cumulative, 0.0);
+        assert!(r.top().is_none());
     }
 
     #[test]

@@ -7,10 +7,28 @@
 //! predictions, which scikit-learn exposes and we therefore expose too.
 
 use crate::data::FeatureMatrix;
-use crate::tree::{DecisionTree, TreeConfig};
+use crate::tree::{DecisionTree, DirtyRegion, TreeConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// How each tree's bootstrap resample is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BootstrapScheme {
+    /// Classic resampling: `n` draws with replacement from an RNG whose
+    /// stream depends on `n`. Appending one sample reshuffles every
+    /// tree's resample, so refits are always from scratch.
+    Resample,
+    /// Online bagging (Oza & Russell): each `(tree, sample)` pair gets a
+    /// Poisson(1)-distributed multiplicity derived by hashing
+    /// `(seed, tree, sample)`. Membership is independent of the dataset
+    /// size, so appending a sample leaves a tree's resample untouched
+    /// unless the new sample actually lands in it (probability
+    /// `1 − e⁻¹ ≈ 63%`) — the property [`RandomForest::refit_incremental`]
+    /// exploits.
+    #[default]
+    Hashed,
+}
 
 /// Hyperparameters of the forest.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,6 +39,10 @@ pub struct ForestConfig {
     pub tree: TreeConfig,
     /// Draw bootstrap samples (with replacement) per tree.
     pub bootstrap: bool,
+    /// How bootstrap resamples are derived (ignored when `bootstrap` is
+    /// off).
+    #[serde(default)]
+    pub scheme: BootstrapScheme,
     /// Base RNG seed; tree `i` derives its own stream from it.
     pub seed: u64,
 }
@@ -31,6 +53,7 @@ impl Default for ForestConfig {
             n_trees: 64,
             tree: TreeConfig::default(),
             bootstrap: true,
+            scheme: BootstrapScheme::default(),
             seed: 0x5eed,
         }
     }
@@ -54,10 +77,64 @@ impl ForestConfig {
     }
 }
 
+/// Deterministic Poisson(1) multiplicity of `sample` in `tree`'s
+/// resample under [`BootstrapScheme::Hashed`]. Independent of how many
+/// samples exist — the invariant incremental refits rely on.
+pub fn bootstrap_weight(seed: u64, tree: usize, sample: usize) -> usize {
+    let mut h = seed
+        ^ (tree as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (sample as u64).wrapping_mul(0xd1b5_4a32_d192_ed03);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    // Invert the Poisson(1) CDF on a uniform draw from the hash.
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let mut k = 0usize;
+    let mut pmf = (-1.0f64).exp();
+    let mut cdf = pmf;
+    while u > cdf && k < 16 {
+        k += 1;
+        pmf /= k as f64;
+        cdf += pmf;
+    }
+    k
+}
+
+/// One tree's change record from [`RandomForest::refit_incremental`]:
+/// which tree was rebuilt, and the feature-space region in which its
+/// predictions may differ from before. Outside `dirty` the tree
+/// predicts bit-identically, so a per-tree prediction cache only needs
+/// to re-evaluate rows inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeUpdate {
+    /// Index of the rebuilt tree.
+    pub tree: usize,
+    /// Where its predictions may have changed.
+    pub dirty: DirtyRegion,
+}
+
+impl TreeUpdate {
+    /// The update set of a from-scratch fit: every tree changed,
+    /// everywhere.
+    pub fn full_refit(n_trees: usize) -> Vec<TreeUpdate> {
+        (0..n_trees)
+            .map(|tree| TreeUpdate {
+                tree,
+                dirty: DirtyRegion::whole(),
+            })
+            .collect()
+    }
+}
+
 /// A fitted random forest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
+    /// How many samples the forest was (re)fitted on; the watermark
+    /// `refit_incremental` appends from.
+    n_samples: usize,
 }
 
 impl RandomForest {
@@ -69,18 +146,152 @@ impl RandomForest {
         let n = x.len();
         let trees: Vec<DecisionTree> = (0..config.n_trees)
             .into_par_iter()
-            .map(|t| {
-                // Independent, deterministic stream per tree.
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                let indices: Vec<usize> = if config.bootstrap {
-                    (0..n).map(|_| rng.random_range(0..n)).collect()
-                } else {
-                    (0..n).collect()
-                };
-                DecisionTree::fit(&config.tree, x, y, &indices, &mut rng)
-            })
+            .map(|t| Self::fit_tree(config, x, y, t))
             .collect();
-        RandomForest { trees }
+        RandomForest { trees, n_samples: n }
+    }
+
+    /// The seed tree `t` builds with (per-node streams derive from it).
+    fn tree_seed(config: &ForestConfig, t: usize) -> u64 {
+        config.seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Tree `t`'s resample under the hashed scheme, in canonical
+    /// ascending order (copies adjacent). Empty when no sample hashes in.
+    fn hashed_indices(config: &ForestConfig, t: usize, n: usize) -> Vec<usize> {
+        (0..n)
+            .flat_map(|i| std::iter::repeat_n(i, bootstrap_weight(config.seed, t, i)))
+            .collect()
+    }
+
+    /// Fit tree `t` from scratch on the first `x.len()` samples.
+    fn fit_tree(config: &ForestConfig, x: &FeatureMatrix, y: &[f64], t: usize) -> DecisionTree {
+        let n = x.len();
+        if !config.bootstrap {
+            let indices: Vec<usize> = (0..n).collect();
+            return DecisionTree::fit_seeded(&config.tree, x, y, &indices, Self::tree_seed(config, t));
+        }
+        match config.scheme {
+            BootstrapScheme::Resample => {
+                // Independent, deterministic stream per tree.
+                let mut rng = StdRng::seed_from_u64(Self::tree_seed(config, t));
+                let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                DecisionTree::fit(&config.tree, x, y, &indices, &mut rng)
+            }
+            BootstrapScheme::Hashed => {
+                let mut indices = Self::hashed_indices(config, t, n);
+                if indices.is_empty() {
+                    // Every sample hashed out (likely only for tiny n):
+                    // fall back to training on everything.
+                    indices = (0..n).collect();
+                }
+                DecisionTree::fit_seeded(&config.tree, x, y, &indices, Self::tree_seed(config, t))
+            }
+        }
+    }
+
+    /// Refit after rows were appended to `(x, y)` (all rows before the
+    /// previous fit's watermark must be unchanged). Only trees whose
+    /// hashed resample actually draws one of the new samples are
+    /// rebuilt — and those rebuilds recompute splits only along each new
+    /// sample's path (see [`DecisionTree::refit_appended`]). The result
+    /// is bit-for-bit identical to `RandomForest::fit` on the full data.
+    ///
+    /// Returns a [`TreeUpdate`] per rebuilt tree — its index plus the
+    /// feature-space region its predictions may have changed in — so
+    /// prediction caches can invalidate just those (column, row) cells.
+    /// With [`BootstrapScheme::Resample`] (or when nothing was fitted
+    /// yet) every resample depends on `n`, so this degrades to a full
+    /// refit reporting every tree changed everywhere.
+    pub fn refit_incremental(
+        &mut self,
+        config: &ForestConfig,
+        x: &FeatureMatrix,
+        y: &[f64],
+    ) -> Vec<TreeUpdate> {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert_eq!(config.n_trees, self.trees.len(), "config/forest tree count mismatch");
+        assert!(
+            x.len() >= self.n_samples,
+            "fewer samples ({}) than the previous fit ({})",
+            x.len(),
+            self.n_samples
+        );
+        let old_n = self.n_samples;
+        let new_n = x.len();
+        if new_n == old_n {
+            return Vec::new();
+        }
+        if old_n == 0 || (config.bootstrap && config.scheme == BootstrapScheme::Resample) {
+            *self = Self::fit(config, x, y);
+            return TreeUpdate::full_refit(self.trees.len());
+        }
+
+        let refitted: Vec<Option<(DecisionTree, DirtyRegion)>> = (0..self.trees.len())
+            .into_par_iter()
+            .map(|t| self.refit_tree(config, x, y, t, old_n, new_n))
+            .collect();
+        let mut changed = Vec::new();
+        for (t, refit) in refitted.into_iter().enumerate() {
+            if let Some((tree, dirty)) = refit {
+                self.trees[t] = tree;
+                changed.push(TreeUpdate { tree: t, dirty });
+            }
+        }
+        self.n_samples = new_n;
+        changed
+    }
+
+    /// Apply samples `old_n..new_n` to tree `t`, one at a time; `None`
+    /// when the tree's resample never draws any of them. The returned
+    /// [`DirtyRegion`] is the union over appends, so it bounds where the
+    /// final tree may disagree with the pre-refit tree.
+    fn refit_tree(
+        &self,
+        config: &ForestConfig,
+        x: &FeatureMatrix,
+        y: &[f64],
+        t: usize,
+        old_n: usize,
+        new_n: usize,
+    ) -> Option<(DecisionTree, DirtyRegion)> {
+        let seed = Self::tree_seed(config, t);
+        let mut multiset = if config.bootstrap {
+            Self::hashed_indices(config, t, old_n)
+        } else {
+            (0..old_n).collect()
+        };
+        // A tree whose resample was empty was trained on ALL samples, so
+        // it must track every append until a sample finally hashes in.
+        let mut fallback = multiset.is_empty();
+        let mut tree: Option<DecisionTree> = None;
+        let mut dirty = DirtyRegion::none();
+        for s in old_n..new_n {
+            let w = if config.bootstrap {
+                bootstrap_weight(config.seed, t, s)
+            } else {
+                1
+            };
+            if fallback {
+                if w > 0 {
+                    multiset.extend(std::iter::repeat_n(s, w));
+                    fallback = false;
+                    tree = Some(DecisionTree::fit_seeded(&config.tree, x, y, &multiset, seed));
+                } else {
+                    let all: Vec<usize> = (0..=s).collect();
+                    tree = Some(DecisionTree::fit_seeded(&config.tree, x, y, &all, seed));
+                }
+                dirty = DirtyRegion::whole();
+            } else if w > 0 {
+                multiset.extend(std::iter::repeat_n(s, w));
+                let mut work = multiset.clone();
+                let base = tree.as_ref().unwrap_or(&self.trees[t]);
+                let (refit, region) = base.refit_appended(&config.tree, x, y, &mut work, seed, s);
+                tree = Some(refit);
+                dirty.merge(region);
+            }
+        }
+        tree.map(|tree| (tree, dirty))
     }
 
     /// Ensemble prediction: the mean over trees.
@@ -95,9 +306,20 @@ impl RandomForest {
         out.extend(self.trees.iter().map(|t| t.predict(row)));
     }
 
+    /// Prediction of one tree (for incremental per-tree caches that
+    /// update only refitted columns).
+    pub fn tree_predict(&self, tree: usize, row: &[f64]) -> f64 {
+        self.trees[tree].predict(row)
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Number of samples the forest was last (re)fitted on.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
     }
 }
 
@@ -222,6 +444,166 @@ mod tests {
                 prop_assert!((mean - f.predict(&[qx])).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn hashed_weights_are_poisson_one_ish() {
+        // Mean multiplicity ~1 and ~37% zeros over a large draw.
+        let n = 20_000;
+        let total: usize = (0..n).map(|i| bootstrap_weight(0x5eed, 0, i)).sum();
+        let zeros = (0..n).filter(|&i| bootstrap_weight(0x5eed, 0, i) == 0).count();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean weight {mean}");
+        let zero_frac = zeros as f64 / n as f64;
+        assert!(
+            (zero_frac - (-1.0f64).exp()).abs() < 0.02,
+            "zero fraction {zero_frac}"
+        );
+    }
+
+    #[test]
+    fn incremental_refit_matches_scratch_fit_exactly() {
+        let (x_full, y_full) = linear_dataset(80);
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        // Fit on a prefix, then append the rest in a few batches.
+        let prefix = 40;
+        let x0 = FeatureMatrix::from_rows(
+            &x_full.rows().take(prefix).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        );
+        let mut forest = RandomForest::fit(&cfg, &x0, &y_full[..prefix]);
+        for upto in [41, 50, 64, 80] {
+            let x = FeatureMatrix::from_rows(
+                &x_full.rows().take(upto).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+            );
+            let changed = forest.refit_incremental(&cfg, &x, &y_full[..upto]);
+            let scratch = RandomForest::fit(&cfg, &x, &y_full[..upto]);
+            assert_eq!(forest, scratch, "divergence at n={upto}");
+            if upto == 41 {
+                // Single append: ~e^-1 of trees draw weight 0 and must
+                // be skipped. (Batch appends touch nearly every tree.)
+                assert!(
+                    changed.len() < cfg.n_trees,
+                    "some trees should be untouched by a single append"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refit_reports_exactly_the_changed_trees() {
+        let (x_full, y_full) = linear_dataset(50);
+        let cfg = ForestConfig {
+            n_trees: 32,
+            ..ForestConfig::default()
+        };
+        let x0 = FeatureMatrix::from_rows(
+            &x_full.rows().take(49).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        );
+        let mut forest = RandomForest::fit(&cfg, &x0, &y_full[..49]);
+        let before = forest.clone();
+        let changed = forest.refit_incremental(&cfg, &x_full, &y_full);
+        // Reported set == trees whose hashed weight of sample 49 is > 0.
+        let expected: Vec<usize> = (0..cfg.n_trees)
+            .filter(|&t| bootstrap_weight(cfg.seed, t, 49) > 0)
+            .collect();
+        let reported: Vec<usize> = changed.iter().map(|u| u.tree).collect();
+        assert_eq!(reported, expected);
+        for t in 0..cfg.n_trees {
+            let same = forest.trees[t] == before.trees[t];
+            assert_eq!(
+                same,
+                !reported.contains(&t),
+                "tree {t} change status disagrees with report"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_regions_bound_prediction_changes() {
+        let (x_full, y_full) = linear_dataset(60);
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        let x0 = FeatureMatrix::from_rows(
+            &x_full.rows().take(55).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        );
+        let mut forest = RandomForest::fit(&cfg, &x0, &y_full[..55]);
+        let before = forest.clone();
+        let changed = forest.refit_incremental(&cfg, &x_full, &y_full);
+        assert!(!changed.is_empty());
+        // Probe a dense grid (including off-training coordinates): where
+        // a tree's dirty region says "clean", its prediction must be
+        // bit-identical to the pre-refit tree's.
+        for fx in -10..140 {
+            for f2 in -2..12 {
+                let row = [fx as f64 * 0.5, f2 as f64 * 0.5];
+                for u in &changed {
+                    if !u.dirty.contains(&row) {
+                        assert_eq!(
+                            forest.tree_predict(u.tree, &row),
+                            before.tree_predict(u.tree, &row),
+                            "tree {} changed outside its dirty region at {row:?}",
+                            u.tree
+                        );
+                    }
+                }
+            }
+        }
+        // And the regions must not be trivially "whole" for a single
+        // append into an already-trained forest.
+        assert!(
+            changed.iter().any(|u| !u.dirty.is_whole()),
+            "single-path refits should report bounded dirty regions"
+        );
+    }
+
+    #[test]
+    fn incremental_refit_without_bootstrap_matches_scratch() {
+        let (x_full, y_full) = linear_dataset(30);
+        let cfg = ForestConfig {
+            n_trees: 4,
+            bootstrap: false,
+            ..ForestConfig::default()
+        };
+        let x0 = FeatureMatrix::from_rows(
+            &x_full.rows().take(20).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        );
+        let mut forest = RandomForest::fit(&cfg, &x0, &y_full[..20]);
+        let changed = forest.refit_incremental(&cfg, &x_full, &y_full);
+        let reported: Vec<usize> = changed.iter().map(|u| u.tree).collect();
+        assert_eq!(reported, (0..4).collect::<Vec<_>>(), "all trees see all samples");
+        assert_eq!(forest, RandomForest::fit(&cfg, &x_full, &y_full));
+    }
+
+    #[test]
+    fn resample_scheme_degrades_to_full_refit() {
+        let (x_full, y_full) = linear_dataset(30);
+        let cfg = ForestConfig {
+            n_trees: 8,
+            scheme: BootstrapScheme::Resample,
+            ..ForestConfig::default()
+        };
+        let x0 = FeatureMatrix::from_rows(
+            &x_full.rows().take(20).map(<[f64]>::to_vec).collect::<Vec<_>>(),
+        );
+        let mut forest = RandomForest::fit(&cfg, &x0, &y_full[..20]);
+        let changed = forest.refit_incremental(&cfg, &x_full, &y_full);
+        assert_eq!(changed.len(), 8, "resample scheme cannot refit in place");
+        assert_eq!(forest, RandomForest::fit(&cfg, &x_full, &y_full));
+    }
+
+    #[test]
+    fn noop_refit_reports_no_changes() {
+        let (x, y) = linear_dataset(25);
+        let cfg = ForestConfig::default();
+        let mut forest = RandomForest::fit(&cfg, &x, &y);
+        let before = forest.clone();
+        assert!(forest.refit_incremental(&cfg, &x, &y).is_empty());
+        assert_eq!(forest, before);
     }
 
     #[test]

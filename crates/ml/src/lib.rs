@@ -16,7 +16,7 @@ pub mod metrics;
 pub mod tree;
 
 pub use data::FeatureMatrix;
-pub use forest::{ForestConfig, RandomForest};
+pub use forest::{bootstrap_weight, BootstrapScheme, ForestConfig, RandomForest, TreeUpdate};
 pub use jackknife::{forest_variance_at, jackknife_variance};
 pub use metrics::{average_slowdown, CONVERGENCE_SLOWDOWN};
-pub use tree::{DecisionTree, TreeConfig};
+pub use tree::{DecisionTree, DirtyRegion, TreeConfig};

@@ -5,10 +5,18 @@
 //! predictions for the jackknife). Splits minimize the summed squared
 //! error of the two children; per-split feature subsampling supports the
 //! random forest above it.
+//!
+//! Builds are a pure function of `(multiset of training rows, tree
+//! seed)`: any randomness (per-split feature subsampling) is seeded from
+//! the node's position in the tree, never from a shared stream consumed
+//! in traversal order. That locality is what makes
+//! [`DecisionTree::refit_appended`] possible — rebuilding only the path
+//! a newly appended sample takes while reusing every untouched subtree
+//! bit-for-bit.
 
 use crate::data::FeatureMatrix;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of a single regression tree.
@@ -59,7 +67,8 @@ pub struct DecisionTree {
 
 impl DecisionTree {
     /// Fit a tree on the rows of `x` selected by `indices` (with
-    /// repetitions allowed, supporting bootstrap samples).
+    /// repetitions allowed, supporting bootstrap samples). The `rng`
+    /// only supplies the tree seed; see [`DecisionTree::fit_seeded`].
     pub fn fit<R: Rng + ?Sized>(
         config: &TreeConfig,
         x: &FeatureMatrix,
@@ -67,21 +76,96 @@ impl DecisionTree {
         indices: &[usize],
         rng: &mut R,
     ) -> Self {
+        Self::fit_seeded(config, x, y, indices, rng.next_u64())
+    }
+
+    /// Fit a tree deterministically: the result depends only on the
+    /// multiset `indices` (in the given order), the config, and
+    /// `tree_seed`. Per-split feature subsampling draws from an RNG
+    /// seeded by `(tree_seed, node depth, node path)`, so identical
+    /// subtree inputs always produce identical subtrees regardless of
+    /// what the rest of the tree looks like.
+    pub fn fit_seeded(
+        config: &TreeConfig,
+        x: &FeatureMatrix,
+        y: &[f64],
+        indices: &[usize],
+        tree_seed: u64,
+    ) -> Self {
         assert_eq!(x.len(), y.len(), "feature/target length mismatch");
         assert!(!indices.is_empty(), "cannot fit on zero samples");
         let mut builder = Builder {
             config,
             x,
             y,
-            rng,
+            tree_seed,
             nodes: Vec::new(),
             feature_pool: (0..x.n_features()).collect(),
+            scratch: Vec::new(),
+            region_conds: Vec::new(),
+            dirty: Vec::new(),
+            presorted: Vec::new(),
         };
         let mut idx = indices.to_vec();
-        builder.build(&mut idx, 0);
+        builder.build(&mut idx, 0, 0);
         DecisionTree {
             nodes: builder.nodes,
         }
+    }
+
+    /// Rebuild this tree after appending `new_sample` to its training
+    /// multiset, producing exactly the tree [`DecisionTree::fit_seeded`]
+    /// would on `indices` — but recomputing splits only along the path
+    /// the new sample takes. Wherever the recomputed split partitions
+    /// the old rows the way the old split did, the sibling subtree
+    /// (whose multiset is unchanged) is copied verbatim instead of
+    /// rebuilt.
+    ///
+    /// `indices` must be the *new* multiset: the multiset this tree was
+    /// fitted on, with the copies of `new_sample` appended at the end
+    /// (matching the canonical ascending order scratch fits use).
+    ///
+    /// Also returns the [`DirtyRegion`] outside of which the new tree
+    /// predicts bit-identically to `self`.
+    pub fn refit_appended(
+        &self,
+        config: &TreeConfig,
+        x: &FeatureMatrix,
+        y: &[f64],
+        indices: &mut [usize],
+        tree_seed: u64,
+        new_sample: usize,
+    ) -> (Self, DirtyRegion) {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        let presorted: Vec<Vec<usize>> = (0..x.n_features())
+            .map(|f| {
+                let mut o = indices.to_vec();
+                o.sort_by(|&a, &b| x.get(a, f).total_cmp(&x.get(b, f)));
+                o
+            })
+            .collect();
+        let mut builder = Builder {
+            config,
+            x,
+            y,
+            tree_seed,
+            nodes: Vec::new(),
+            feature_pool: (0..x.n_features()).collect(),
+            scratch: Vec::new(),
+            region_conds: Vec::new(),
+            dirty: Vec::new(),
+            presorted,
+        };
+        builder.rebuild_path(&self.nodes, 0, indices, 0, 0, new_sample);
+        (
+            DecisionTree {
+                nodes: builder.nodes,
+            },
+            DirtyRegion {
+                regions: builder.dirty,
+            },
+        )
     }
 
     /// Predict the target for one feature row.
@@ -116,13 +200,108 @@ impl DecisionTree {
     }
 }
 
-struct Builder<'a, R: Rng + ?Sized> {
+/// One axis constraint of a dirty region: `lo < x[feature] <= hi`.
+type Cond = (usize, f64, f64);
+
+/// The part of feature space where a refit tree's predictions may
+/// differ from the pre-refit tree's.
+///
+/// A union of axis-aligned boxes (conjunctions of [`Cond`]s), collected
+/// while [`DecisionTree::refit_appended`] walks the new sample's path:
+/// the box delimiting each rebuilt subtree, plus — when a reused split
+/// kept its partition but moved its threshold — the band between the old
+/// and new thresholds (rows in the band route differently even though
+/// both subtrees were preserved). Everywhere outside the region the two
+/// trees predict bit-identically, which is what lets a per-tree
+/// prediction cache skip rows a refit could not have touched.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DirtyRegion {
+    regions: Vec<Vec<Cond>>,
+}
+
+impl DirtyRegion {
+    /// Nothing dirty (predictions unchanged everywhere).
+    pub fn none() -> Self {
+        DirtyRegion::default()
+    }
+
+    /// Everything dirty (a full rebuild).
+    pub fn whole() -> Self {
+        DirtyRegion {
+            regions: vec![Vec::new()],
+        }
+    }
+
+    /// True when no row is dirty.
+    pub fn is_none(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// True when every row is dirty.
+    pub fn is_whole(&self) -> bool {
+        self.regions.iter().any(Vec::is_empty)
+    }
+
+    /// Whether `row`'s prediction may have changed.
+    pub fn contains(&self, row: &[f64]) -> bool {
+        self.regions.iter().any(|conds| {
+            conds
+                .iter()
+                .all(|&(f, lo, hi)| row[f] > lo && row[f] <= hi)
+        })
+    }
+
+    /// Union with another region (e.g. a later append to the same tree).
+    pub fn merge(&mut self, other: DirtyRegion) {
+        if self.is_whole() {
+            return;
+        }
+        if other.is_whole() {
+            *self = DirtyRegion::whole();
+            return;
+        }
+        self.regions.extend(other.regions);
+    }
+}
+
+/// Mix a node's position into a per-node RNG seed (splitmix64-style
+/// finalizer). A node is identified by its depth and the left/right
+/// path bits taken from the root, so the seed is independent of how the
+/// rest of the tree is built.
+fn node_seed(tree_seed: u64, depth: usize, path: u64) -> u64 {
+    let mut h = tree_seed
+        ^ (depth as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ path.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+struct Builder<'a> {
     config: &'a TreeConfig,
     x: &'a FeatureMatrix,
     y: &'a [f64],
-    rng: &'a mut R,
+    tree_seed: u64,
     nodes: Vec<Node>,
     feature_pool: Vec<usize>,
+    scratch: Vec<usize>,
+    /// Conjunction of split decisions taken so far on the refit path
+    /// (maintained by `rebuild_path` only).
+    region_conds: Vec<Cond>,
+    /// Accumulated dirty boxes (see [`DirtyRegion`]).
+    dirty: Vec<Vec<Cond>>,
+    /// Per-feature presorted index orders for the refit-path node
+    /// currently being split (`rebuild_path` only). Sorted once at the
+    /// root and filtered linearly on each descent, these let path nodes
+    /// skip `best_split`'s per-feature sort. Filtering a stable sort
+    /// preserves relative order among equal values, so the filtered
+    /// order is exactly the permutation a fresh stable sort of the
+    /// child's canonical index order would produce — bit-exactness of
+    /// the prefix-scan float sums is preserved.
+    presorted: Vec<Vec<usize>>,
 }
 
 struct BestSplit {
@@ -131,9 +310,120 @@ struct BestSplit {
     score: f64,
 }
 
-impl<R: Rng + ?Sized> Builder<'_, R> {
+impl Builder<'_> {
     /// Build the subtree over `indices`; returns its node index.
-    fn build(&mut self, indices: &mut [usize], depth: usize) -> u32 {
+    fn build(&mut self, indices: &mut [usize], depth: usize, path: u64) -> u32 {
+        let node_id = self.push_leaf(indices);
+        let Some(split) = self.try_split(indices, depth, path) else {
+            return node_id;
+        };
+        let mid = partition(self.x, indices, &split, &mut self.scratch);
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        let left = self.build(left_idx, depth + 1, path.wrapping_shl(1));
+        let right = self.build(right_idx, depth + 1, path.wrapping_shl(1) | 1);
+        self.finish_split(node_id, &split, left, right);
+        node_id
+    }
+
+    /// Rebuild the subtree over `indices` (the old subtree's multiset
+    /// plus appended copies of `new_sample`), reusing subtrees whose
+    /// multiset did not change. `old_i` is the corresponding node in the
+    /// pre-append tree. Produces bit-for-bit what `build` would, and
+    /// records in `self.dirty` the boxes where predictions may differ
+    /// from the old subtree's.
+    fn rebuild_path(
+        &mut self,
+        old: &[Node],
+        old_i: u32,
+        indices: &mut [usize],
+        depth: usize,
+        path: u64,
+        new_sample: usize,
+    ) -> u32 {
+        let node_id = self.push_leaf(indices);
+        let Some(split) = self.try_split(indices, depth, path) else {
+            // Rebuilt leaf: its mean absorbed the appended copies.
+            self.dirty.push(self.region_conds.clone());
+            return node_id;
+        };
+        let old_node = old[old_i as usize];
+        // The old subtree is reusable when the new split sends every old
+        // row to the side the old split sent it to. Equal thresholds
+        // trivially agree; otherwise (the threshold midpoint moved, e.g.
+        // because the appended value sits next to the old boundary) scan
+        // the old rows for a disagreement.
+        let reusable = old_node.feature == split.feature
+            && (old_node.threshold == split.threshold
+                || indices.iter().all(|&i| {
+                    let v = self.x.get(i, split.feature);
+                    i == new_sample || (v <= old_node.threshold) == (v <= split.threshold)
+                }));
+        let mid = partition(self.x, indices, &split, &mut self.scratch);
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        let (left, right) = if reusable {
+            // Every appended copy lands on one side, so the other side's
+            // multiset — and therefore its entire subtree — is unchanged
+            // and can be copied verbatim. If the threshold moved, rows
+            // between the two thresholds route differently even though
+            // both subtrees survive: mark that band dirty.
+            if old_node.threshold != split.threshold {
+                let (lo, hi) = if old_node.threshold < split.threshold {
+                    (old_node.threshold, split.threshold)
+                } else {
+                    (split.threshold, old_node.threshold)
+                };
+                let mut band = self.region_conds.clone();
+                band.push((split.feature, lo, hi));
+                self.dirty.push(band);
+            }
+            if self.x.get(new_sample, split.feature) <= split.threshold {
+                self.region_conds
+                    .push((split.feature, f64::NEG_INFINITY, split.threshold));
+                self.filter_presorted(split.feature, split.threshold, true);
+                let left = self.rebuild_path(
+                    old,
+                    old_node.left,
+                    left_idx,
+                    depth + 1,
+                    path.wrapping_shl(1),
+                    new_sample,
+                );
+                self.region_conds.pop();
+                let right = copy_subtree(old, old_node.right, &mut self.nodes);
+                (left, right)
+            } else {
+                let left = copy_subtree(old, old_node.left, &mut self.nodes);
+                self.region_conds
+                    .push((split.feature, split.threshold, f64::INFINITY));
+                self.filter_presorted(split.feature, split.threshold, false);
+                let right = self.rebuild_path(
+                    old,
+                    old_node.right,
+                    right_idx,
+                    depth + 1,
+                    path.wrapping_shl(1) | 1,
+                    new_sample,
+                );
+                self.region_conds.pop();
+                (left, right)
+            }
+        } else {
+            // The partition moved (or the old node was a leaf): rebuild
+            // this whole subtree from scratch — all of it is dirty. The
+            // presorted orders describe this node, not the subtree's
+            // descendants, so `build` must fall back to per-node sorts.
+            self.dirty.push(self.region_conds.clone());
+            self.presorted.clear();
+            let left = self.build(left_idx, depth + 1, path.wrapping_shl(1));
+            let right = self.build(right_idx, depth + 1, path.wrapping_shl(1) | 1);
+            (left, right)
+        };
+        self.finish_split(node_id, &split, left, right);
+        node_id
+    }
+
+    /// Push a leaf predicting the mean of `indices`.
+    fn push_leaf(&mut self, indices: &[usize]) -> u32 {
         let node_id = self.nodes.len() as u32;
         let mean = indices.iter().map(|&i| self.y[i]).sum::<f64>() / indices.len() as f64;
         self.nodes.push(Node {
@@ -143,50 +433,60 @@ impl<R: Rng + ?Sized> Builder<'_, R> {
             left: 0,
             right: 0,
         });
+        node_id
+    }
 
+    /// The split for this node, if stopping criteria allow one and one
+    /// improves on the parent.
+    fn try_split(&mut self, indices: &[usize], depth: usize, path: u64) -> Option<BestSplit> {
         if depth >= self.config.max_depth
             || indices.len() < self.config.min_samples_split
             || indices.len() < 2 * self.config.min_samples_leaf
         {
-            return node_id;
+            return None;
         }
-        let Some(split) = self.best_split(indices) else {
-            return node_id;
-        };
+        self.best_split(indices, depth, path)
+    }
 
-        // Partition in place: rows with x[f] <= t go left.
-        let mut mid = 0;
-        for i in 0..indices.len() {
-            if self.x.get(indices[i], split.feature) <= split.threshold {
-                indices.swap(i, mid);
-                mid += 1;
-            }
-        }
-        debug_assert!(mid > 0 && mid < indices.len(), "degenerate split survived");
-        let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build(left_idx, depth + 1);
-        let right = self.build(right_idx, depth + 1);
+    /// Turn the placeholder leaf `node_id` into a split node.
+    fn finish_split(&mut self, node_id: u32, split: &BestSplit, left: u32, right: u32) {
         let node = &mut self.nodes[node_id as usize];
         node.feature = split.feature;
         node.threshold = split.threshold;
         node.left = left;
         node.right = right;
-        node_id
     }
 
-    /// Exhaustive best split over a random feature subset: minimize
-    /// left/right summed squared error via a sorted prefix scan.
-    fn best_split(&mut self, indices: &[usize]) -> Option<BestSplit> {
+    /// Restrict the refit-path presorted orders to the child on the
+    /// `keep_left` side of a split. A linear filter of a stable sort
+    /// yields exactly the stable sort of the (stably partitioned) child.
+    fn filter_presorted(&mut self, feature: usize, threshold: f64, keep_left: bool) {
+        let x = self.x;
+        for ord in &mut self.presorted {
+            ord.retain(|&i| (x.get(i, feature) <= threshold) == keep_left);
+        }
+    }
+
+    /// Exhaustive best split over the node's feature subset: minimize
+    /// left/right summed squared error via a sorted prefix scan. With
+    /// `max_features = None` every feature is scanned in natural order;
+    /// with subsampling, the subset comes from an RNG seeded by the
+    /// node's position (deterministic per node). On the refit path the
+    /// per-feature sort is skipped in favor of `self.presorted`.
+    fn best_split(&mut self, indices: &[usize], depth: usize, path: u64) -> Option<BestSplit> {
         let n_features = self.x.n_features();
         let k = self
             .config
             .max_features
             .unwrap_or(n_features)
             .clamp(1, n_features);
-        self.feature_pool.shuffle(self.rng);
-        // Work on a copy of the candidate features to keep the borrow
-        // checker happy while we mutate scratch.
-        let candidates: Vec<usize> = self.feature_pool[..k].to_vec();
+        let candidates: Vec<usize> = if k >= n_features {
+            (0..n_features).collect()
+        } else {
+            let mut rng = StdRng::seed_from_u64(node_seed(self.tree_seed, depth, path));
+            self.feature_pool.shuffle(&mut rng);
+            self.feature_pool[..k].to_vec()
+        };
 
         let total_sum: f64 = indices.iter().map(|&i| self.y[i]).sum();
         let total_sq: f64 = indices.iter().map(|&i| self.y[i] * self.y[i]).sum();
@@ -197,8 +497,13 @@ impl<R: Rng + ?Sized> Builder<'_, R> {
         let mut order: Vec<usize> = Vec::with_capacity(indices.len());
         for f in candidates {
             order.clear();
-            order.extend_from_slice(indices);
-            order.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+            if self.presorted.is_empty() {
+                order.extend_from_slice(indices);
+                order.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+            } else {
+                debug_assert_eq!(self.presorted[f].len(), indices.len());
+                order.extend_from_slice(&self.presorted[f]);
+            }
 
             let min_leaf = self.config.min_samples_leaf;
             let mut left_sum = 0.0;
@@ -231,6 +536,50 @@ impl<R: Rng + ?Sized> Builder<'_, R> {
         }
         best
     }
+}
+
+/// Partition `indices` in place so rows with `x[feature] <= threshold`
+/// come first; returns the boundary. Stable on BOTH sides: each side
+/// keeps its rows in their original relative order. Stability is what
+/// keeps incremental refits bit-identical to scratch fits — an appended
+/// sample lands at the end of one side and leaves the other side's
+/// ordering (and hence its float summation order) untouched.
+fn partition(
+    x: &FeatureMatrix,
+    indices: &mut [usize],
+    split: &BestSplit,
+    scratch: &mut Vec<usize>,
+) -> usize {
+    scratch.clear();
+    let mut mid = 0;
+    for i in 0..indices.len() {
+        let row = indices[i];
+        if x.get(row, split.feature) <= split.threshold {
+            indices[mid] = row;
+            mid += 1;
+        } else {
+            scratch.push(row);
+        }
+    }
+    indices[mid..].copy_from_slice(scratch);
+    debug_assert!(mid > 0 && mid < indices.len(), "degenerate split survived");
+    mid
+}
+
+/// Copy the subtree rooted at `old_i` into `out` in build order
+/// (pre-order, left before right), remapping child indices; returns the
+/// new root index. Reproduces exactly the layout a fresh build emits.
+fn copy_subtree(old: &[Node], old_i: u32, out: &mut Vec<Node>) -> u32 {
+    let node_id = out.len() as u32;
+    out.push(old[old_i as usize]);
+    if old[old_i as usize].feature != LEAF {
+        let left = copy_subtree(old, old[old_i as usize].left, out);
+        let right = copy_subtree(old, old[old_i as usize].right, out);
+        let node = &mut out[node_id as usize];
+        node.left = left;
+        node.right = right;
+    }
+    node_id
 }
 
 #[cfg(test)]

@@ -51,15 +51,18 @@ pub mod prelude {
         mpich_default, Algorithm, Collective, Measurement, MicrobenchConfig,
     };
     pub use acclaim_core::{
-        application_impact, Acclaim, AcclaimConfig, ActiveLearner, Candidate,
-        CollectionStrategy, CriterionConfig, JobTuning, LearnerConfig, PerfModel,
-        SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
-        VarianceConvergence,
+        all_candidates, application_impact, rank_by_variance, Acclaim, AcclaimConfig,
+        ActiveLearner, Candidate, CollectionStrategy, CriterionConfig, JobTuning,
+        LearnerConfig, PerfModel, SelectionPolicy, TrainingOutcome, TrainingSample,
+        TunedSelector, TuningFile, VarianceConvergence, VarianceScanCache,
     };
     pub use acclaim_dataset::{
         BenchmarkDatabase, DatasetConfig, FeatureSpace, Point, Sample,
     };
-    pub use acclaim_ml::{average_slowdown, ForestConfig, RandomForest, CONVERGENCE_SLOWDOWN};
+    pub use acclaim_ml::{
+        average_slowdown, DirtyRegion, ForestConfig, RandomForest, TreeUpdate,
+        CONVERGENCE_SLOWDOWN,
+    };
     pub use acclaim_netsim::{
         Allocation, Cluster, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
     };

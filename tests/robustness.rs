@@ -145,3 +145,153 @@ fn extreme_latency_factor_flips_selections_toward_binomial() {
         "latency must shift the race toward binomial: near {t_near:.3} far {t_far:.3}"
     );
 }
+
+// --- Degenerate cases for the incremental refit path -----------------
+//
+// The warm-start machinery (hashed bootstrap membership, dirty-region
+// cache patching) has edge conditions that a healthy 64-tree forest on
+// a big grid never hits: a forest of one tree, an append that *no*
+// tree's bootstrap draws, and a candidate scan with a single row. Each
+// must neither panic nor diverge from the scratch path.
+
+fn tiny_db(seed: u64) -> BenchmarkDatabase {
+    let machine = Cluster::bebop_like();
+    let alloc = Allocation::contiguous(&machine.topology, 8);
+    BenchmarkDatabase::new(DatasetConfig {
+        cluster: machine.with_allocation(alloc),
+        bench: MicrobenchConfig::fast(),
+        noise: NoiseModel::none(),
+        seed,
+    })
+}
+
+fn tiny_trajectory(db: &BenchmarkDatabase, space: &FeatureSpace) -> Vec<TrainingSample> {
+    all_candidates(Collective::Bcast, space)
+        .into_iter()
+        .map(|c| TrainingSample {
+            point: c.point,
+            algorithm: c.algorithm,
+            time_us: db.time(c.algorithm, c.point),
+        })
+        .collect()
+}
+
+#[test]
+fn single_tree_forest_refits_incrementally_without_divergence() {
+    let db = tiny_db(11);
+    let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 1_024, 16_384]);
+    let samples = tiny_trajectory(&db, &space);
+    let config = ForestConfig {
+        n_trees: 1,
+        ..ForestConfig::for_n_features(5)
+    };
+
+    let candidates = all_candidates(Collective::Bcast, &space);
+    let mut model = PerfModel::fit(Collective::Bcast, &samples[..3], &config);
+    let mut cache = VarianceScanCache::new(candidates.clone());
+    cache.refresh(&model, &TreeUpdate::full_refit(config.n_trees));
+    for n in 4..=samples.len() {
+        let changed = model.fit_incremental(&samples[..n], &config);
+        cache.refresh(&model, &changed);
+        // A 1-tree forest has zero jackknife variance everywhere; the
+        // ranking must still be well-formed and match a cold scan.
+        let cached = cache.ranking();
+        let cold = rank_by_variance(&model, &candidates);
+        assert_eq!(cached, cold, "single-tree cache diverged at n={n}");
+        let scratch = PerfModel::fit(Collective::Bcast, &samples[..n], &config);
+        for p in space.points() {
+            assert_eq!(model.select(p), scratch.select(p), "single-tree select diverged at n={n}");
+        }
+    }
+
+    // The learner end-to-end with one tree: trains, selects, no panic.
+    let mut cfg = LearnerConfig::acclaim_sequential().with_budget(10);
+    cfg.forest = config;
+    cfg.max_iterations = 20;
+    let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+    assert!(out.collected.len() >= 10);
+    out.model.select(Point::new(8, 2, 1_024));
+}
+
+#[test]
+fn appends_no_tree_samples_leave_model_and_cache_exact() {
+    // With the hashed Poisson(1) bootstrap each tree skips a given
+    // sample with probability e^-1, so a 1-tree forest sees "zero trees
+    // drew the append" on ~37% of updates. Walk a trajectory and check
+    // those updates leave the model untouched *and* still scratch-exact.
+    let db = tiny_db(12);
+    let space = FeatureSpace::new(vec![2, 4, 8], vec![1, 2], vec![64, 1_024, 16_384]);
+    let samples = tiny_trajectory(&db, &space);
+    let config = ForestConfig {
+        n_trees: 1,
+        ..ForestConfig::for_n_features(5)
+    };
+
+    let candidates = all_candidates(Collective::Bcast, &space);
+    let mut model = PerfModel::fit(Collective::Bcast, &samples[..3], &config);
+    let mut cache = VarianceScanCache::new(candidates.clone());
+    cache.refresh(&model, &TreeUpdate::full_refit(config.n_trees));
+    let mut empty_updates = 0;
+    for n in 4..=samples.len() {
+        let changed = model.fit_incremental(&samples[..n], &config);
+        if changed.is_empty() {
+            empty_updates += 1;
+        }
+        cache.refresh(&model, &changed);
+        let scratch = PerfModel::fit(Collective::Bcast, &samples[..n], &config);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for c in &candidates {
+            model.per_tree_log_predictions(c.point, c.algorithm, &mut a);
+            scratch.per_tree_log_predictions(c.point, c.algorithm, &mut b);
+            assert_eq!(a, b, "zero-refit append diverged from scratch at n={n}");
+        }
+        assert_eq!(cache.ranking(), rank_by_variance(&model, &candidates));
+    }
+    assert!(
+        empty_updates > 0,
+        "trajectory never produced an append with zero sampling trees; \
+         the degenerate path went unexercised"
+    );
+}
+
+#[test]
+fn candidate_space_of_size_one_survives_incremental_updates() {
+    let db = tiny_db(13);
+    // One point; keep only one algorithm's candidate in the scan so the
+    // cache holds a single row.
+    let space = FeatureSpace::new(vec![4], vec![2], vec![1_024]);
+    let all = all_candidates(Collective::Bcast, &space);
+    let only = all[0];
+    let samples = tiny_trajectory(&db, &space);
+    let config = ForestConfig {
+        n_trees: 8,
+        ..ForestConfig::for_n_features(5)
+    };
+
+    let mut model = PerfModel::fit(Collective::Bcast, &samples[..1], &config);
+    let mut cache = VarianceScanCache::new(all);
+    cache.refresh(&model, &TreeUpdate::full_refit(config.n_trees));
+    cache.retain(|c| *c == only);
+    assert_eq!(cache.candidates().len(), 1);
+    for n in 2..=samples.len() {
+        let changed = model.fit_incremental(&samples[..n], &config);
+        cache.refresh(&model, &changed);
+        let ranking = cache.ranking();
+        assert_eq!(ranking.top(), Some(only));
+        let cold = rank_by_variance(&model, std::slice::from_ref(&only));
+        assert_eq!(ranking, cold, "single-candidate cache diverged at n={n}");
+    }
+
+    // End-to-end: the learner on the 1-point space already runs above
+    // (`single_point_space_trains_and_selects`); here make sure the
+    // incremental flag does not change its outcome.
+    let mut on = LearnerConfig::acclaim_sequential().with_budget(2);
+    on.forest = config;
+    on.max_iterations = 10;
+    let mut off = on.clone();
+    off.incremental = false;
+    let a = ActiveLearner::new(on).train(&db, Collective::Bcast, &space, None);
+    let b = ActiveLearner::new(off).train(&db, Collective::Bcast, &space, None);
+    assert_eq!(a.collected, b.collected);
+    assert_eq!(a.converged, b.converged);
+}
