@@ -1,0 +1,89 @@
+//! Bounds the cost of the observability layer.
+//!
+//! Two questions, two groups:
+//!
+//! * `obs_primitives` — what does a single disabled span / counter /
+//!   histogram operation cost? Disabled handles must be a null check,
+//!   not a lock; this group makes a regression there visible.
+//! * `obs_training` — what does instrumentation cost end to end?
+//!   `train` (tracing off) vs `train_with_obs(Obs::enabled())` on the
+//!   same tiny environment. The disabled run is the production default,
+//!   so its time *is* the overhead bound the design promises: identical
+//!   to an uninstrumented build up to a pointer test per call site.
+
+use acclaim_collectives::Collective;
+use acclaim_core::{ActiveLearner, CriterionConfig, LearnerConfig};
+use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace};
+use acclaim_obs::Obs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let disabled = Obs::disabled();
+    let enabled = Obs::enabled();
+
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| black_box(disabled.span("bench", "noop")))
+    });
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| black_box(enabled.span("bench", "noop")))
+    });
+
+    // Handles resolved once, hammered in the hot path — the shape the
+    // learner loop uses.
+    let ctr_off = disabled.counter("bench.count");
+    let ctr_on = enabled.counter("bench.count");
+    group.bench_function("counter_incr_disabled", |b| b.iter(|| ctr_off.incr()));
+    group.bench_function("counter_incr_enabled", |b| b.iter(|| ctr_on.incr()));
+
+    let hist_off = disabled.histogram("bench.us");
+    let hist_on = enabled.histogram("bench.us");
+    group.bench_function("histogram_record_disabled", |b| {
+        b.iter(|| hist_off.record(black_box(37.5)))
+    });
+    group.bench_function("histogram_record_enabled", |b| {
+        b.iter(|| hist_on.record(black_box(37.5)))
+    });
+
+    // One-shot lookups pay a name hash when enabled; show that too so
+    // nobody puts them in a tight loop by accident.
+    group.bench_function("incr_counter_by_name_enabled", |b| {
+        b.iter(|| enabled.incr_counter(black_box("bench.count"), 1))
+    });
+    group.finish();
+}
+
+fn training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_training");
+    group.sample_size(10);
+
+    let cfg = LearnerConfig {
+        criterion: CriterionConfig::MaxPoints(16),
+        ..LearnerConfig::acclaim()
+    };
+    let learner = ActiveLearner::new(cfg);
+    let space = FeatureSpace::tiny();
+
+    // Tracing off: the production default. `train` routes through the
+    // same code as the traced run with every obs call short-circuited.
+    let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+    group.bench_function("train_disabled", |b| {
+        b.iter(|| black_box(learner.train(&db, Collective::Bcast, &space, None)))
+    });
+
+    // Tracing on: a fresh recorder per run so span accumulation from
+    // one iteration can't distort the next.
+    let traced_db = BenchmarkDatabase::new(DatasetConfig::tiny());
+    group.bench_function("train_enabled", |b| {
+        b.iter(|| {
+            let obs = Obs::enabled();
+            let out = learner.train_with_obs(&traced_db, Collective::Bcast, &space, None, &obs);
+            black_box((out, obs.snapshot().spans.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, primitives, training);
+criterion_main!(benches);

@@ -5,10 +5,11 @@ use crate::args::Args;
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_core::{TunedSelector, TuningFile};
 use acclaim_dataset::Point;
+use acclaim_obs::Diag;
 use std::fmt::Write;
 
 /// Run the subcommand; returns the table printed to stdout.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     let nodes: u32 = args.num_or("nodes", 16)?;
     let ppn: u32 = args.num_or("ppn", 8)?;
     let collective = Collective::parse(args.get_or("collective", "bcast"))
@@ -19,6 +20,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let value: serde_json::Value =
                 serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            diag.progress(&format!("loaded tuning file {path}"));
             TunedSelector::new(TuningFile::from_mpich_json(&value)?)
         }
         None => TunedSelector::default(),
@@ -62,7 +64,7 @@ mod tests {
             ["selections", "--collective", "reduce", "--nodes", "32"].map(String::from),
         )
         .unwrap();
-        let out = run(&args).unwrap();
+        let out = run(&args, &Diag::new(true)).unwrap();
         assert!(out.contains("reduce"));
         assert!(out.contains("binomial"));
         assert!(out.contains("MPICH defaults"));
@@ -72,6 +74,6 @@ mod tests {
     fn unknown_collective_is_an_error() {
         let args =
             Args::parse(["selections", "--collective", "scan"].map(String::from)).unwrap();
-        assert!(run(&args).is_err());
+        assert!(run(&args, &Diag::new(true)).is_err());
     }
 }

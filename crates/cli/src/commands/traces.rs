@@ -3,10 +3,11 @@
 
 use crate::args::Args;
 use acclaim_dataset::traces;
+use acclaim_obs::Diag;
 use std::fmt::Write;
 
 /// Run the subcommand; returns the table printed to stdout.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args, _diag: &Diag) -> Result<String, String> {
     let max_msg: u64 = args.num_or("max-msg", 1 << 20)?;
     let mut out = String::from("application traces (synthetic, LLNL-calibrated):\n");
     for name in traces::trace_app_names() {
@@ -46,7 +47,7 @@ mod tests {
     #[test]
     fn lists_all_apps_and_the_missing_trace() {
         let args = Args::parse(["traces".to_string()]).unwrap();
-        let out = run(&args).unwrap();
+        let out = run(&args, &Diag::new(true)).unwrap();
         for app in ["AMG", "Nekbone", "ParaDis", "Laghos"] {
             assert!(out.contains(app), "{app} missing from\n{out}");
         }

@@ -3,13 +3,16 @@
 
 use crate::args::Args;
 use crate::context::{cluster_from, collectives_from, database_from, maybe_save_db, space_from};
+use crate::trace::TraceOutputs;
 use acclaim_core::{Acclaim, AcclaimConfig, CollectionStrategy, CriterionConfig};
+use acclaim_obs::Diag;
 
 /// Run the subcommand; returns the report printed to stdout.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
+    let (obs, outputs) = TraceOutputs::from_args(args)?;
     let cluster = cluster_from(args)?;
     let space = space_from(args, &cluster)?;
-    let db = database_from(args, cluster)?;
+    let db = database_from(args, cluster)?.with_obs(&obs);
     let collectives = collectives_from(args)?;
     let out_path = args.get_or("out", "tuning.json").to_string();
 
@@ -25,15 +28,27 @@ pub fn run(args: &Args) -> Result<String, String> {
         config.learner.max_iterations = iters;
     }
 
-    let tuning = Acclaim::new(config).tune(&db, &collectives);
+    diag.progress(&format!(
+        "training {} collective model(s)",
+        collectives.len()
+    ));
+    let tuning = {
+        let _span = obs.span("cli", "tune");
+        Acclaim::new(config).tune_with_obs(&db, &collectives, &obs)
+    };
     let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json())
         .expect("tuning file serializes");
     std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     maybe_save_db(args, &db)?;
+    diag.progress(&format!("tuning file written to {out_path}"));
 
     let mut report = String::new();
     report.push_str(&tuning.summary());
     report.push_str(&format!("tuning file written to {out_path}\n"));
+    for line in outputs.write(&obs)? {
+        report.push_str(&line);
+        report.push('\n');
+    }
     Ok(report)
 }
 
@@ -43,36 +58,39 @@ mod tests {
     use crate::args::Args;
     use acclaim_core::TuningFile;
 
+    fn tune_args(extra: &[&str], out: &std::path::Path) -> Args {
+        let mut tokens = vec![
+            "tune",
+            "--nodes",
+            "8",
+            "--ppn",
+            "2",
+            "--max-msg",
+            "4096",
+            "--min-msg",
+            "64",
+            "--collectives",
+            "reduce",
+            "--budget",
+            "20",
+            "--max-iterations",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ];
+        tokens.extend_from_slice(extra);
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
     #[test]
     fn tune_writes_a_parseable_tuning_file() {
         let out = std::env::temp_dir().join("acclaim-cli-tune-test.json");
         let _ = std::fs::remove_file(&out);
-        let args = Args::parse(
-            [
-                "tune",
-                "--nodes",
-                "8",
-                "--ppn",
-                "2",
-                "--max-msg",
-                "4096",
-                "--min-msg",
-                "64",
-                "--collectives",
-                "reduce",
-                "--budget",
-                "20",
-                "--max-iterations",
-                "10",
-                "--out",
-                out.to_str().unwrap(),
-            ]
-            .map(String::from),
-        )
-        .unwrap();
-        let report = run(&args).unwrap();
+        let args = tune_args(&[], &out);
+        let report = run(&args, &Diag::new(true)).unwrap();
         assert!(report.contains("reduce"));
         assert!(report.contains("tuning file written"));
+        assert!(report.contains("cost split"));
         let text = std::fs::read_to_string(&out).unwrap();
         let parsed =
             TuningFile::from_mpich_json(&serde_json::from_str(&text).unwrap()).unwrap();
@@ -81,5 +99,58 @@ mod tests {
             assert!(ctx.is_complete() && ctx.is_pruned());
         }
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn tune_trace_covers_all_instrumented_layers() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-trace-test.json");
+        let trace = std::env::temp_dir().join("acclaim-cli-tune-trace-test.jsonl");
+        let _ = std::fs::remove_file(&trace);
+        let args = tune_args(&["--trace-out", trace.to_str().unwrap()], &out);
+        let report = run(&args, &Diag::new(true)).unwrap();
+        assert!(report.contains("trace (jsonl) written"));
+        let text = std::fs::read_to_string(&trace).unwrap();
+        acclaim_obs::schema::validate_trace(&text).unwrap();
+        // The trace must cover all four instrumented layers: the CLI,
+        // the learner loop, the collection scheduler (sim-timeline slot
+        // spans), and the network simulator.
+        for needle in [
+            "\"cat\":\"cli\"",
+            "\"cat\":\"learner\"",
+            "\"cat\":\"collect\"",
+            "\"cat\":\"netsim\"",
+            "netsim.roundsim.rounds",
+            "learner.non_p2_injections",
+        ] {
+            assert!(text.contains(needle), "{needle} missing from trace");
+        }
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn tune_chrome_trace_is_valid_json() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-chrome-test.json");
+        let trace = std::env::temp_dir().join("acclaim-cli-tune-chrome-test.trace");
+        let args = tune_args(
+            &[
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--trace-format",
+                "chrome",
+            ],
+            &out,
+        );
+        let report = run(&args, &Diag::new(true)).unwrap();
+        assert!(report.contains("trace (chrome) written"));
+        let text = std::fs::read_to_string(&trace).unwrap();
+        // Top-level JSON array form of the trace_event format.
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        match v {
+            serde_json::Value::Array(events) => assert!(events.len() > 10),
+            other => panic!("expected an event array, got {other:?}"),
+        }
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&trace).ok();
     }
 }

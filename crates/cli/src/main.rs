@@ -18,11 +18,19 @@
 mod args;
 mod commands;
 mod context;
+mod trace;
 
+use acclaim_obs::Diag;
 use args::Args;
 
 const USAGE: &str = "\
 usage: acclaim <command> [options]
+
+common options:
+  --quiet                suppress progress notes on stderr
+  --trace-out FILE       write a structured trace (tune, simulate)
+  --trace-format FMT     jsonl (default) | chrome (chrome://tracing)
+  --metrics-out FILE     write counters/gauges/histograms as JSONL
 
 commands:
   tune        train ACCLAiM and write an MPICH JSON tuning file
@@ -35,16 +43,16 @@ commands:
               [--min-msg B --max-msg B]
   simulate    price every algorithm of a collective at one point
               --machine bebop|theta --nodes N --ppn N --collective NAME
-              --msg BYTES [--latency-factor F]
+              --msg BYTES [--latency-factor F] [--engine rounds|flows]
   traces      summarize the synthetic application traces [--max-msg B]
 ";
 
-fn dispatch(args: Args) -> Result<String, String> {
+fn dispatch(args: Args, diag: &Diag) -> Result<String, String> {
     match args.command.as_deref() {
-        Some("tune") => commands::tune::run(&args),
-        Some("selections") => commands::selections::run(&args),
-        Some("simulate") => commands::simulate::run(&args),
-        Some("traces") => commands::traces::run(&args),
+        Some("tune") => commands::tune::run(&args, diag),
+        Some("selections") => commands::selections::run(&args, diag),
+        Some("simulate") => commands::simulate::run(&args, diag),
+        Some("traces") => commands::traces::run(&args, diag),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
@@ -52,11 +60,12 @@ fn dispatch(args: Args) -> Result<String, String> {
 
 fn main() {
     let parsed = Args::parse(std::env::args().skip(1));
-    let outcome = parsed.and_then(dispatch);
+    let diag = Diag::new(parsed.as_ref().map(|a| a.flag("quiet")).unwrap_or(false));
+    let outcome = parsed.and_then(|a| dispatch(a, &diag));
     match outcome {
         Ok(report) => print!("{report}"),
         Err(message) => {
-            eprintln!("{message}");
+            diag.error(&message);
             std::process::exit(2);
         }
     }
@@ -67,7 +76,8 @@ mod tests {
     use super::*;
 
     fn run(tokens: &[&str]) -> Result<String, String> {
-        dispatch(Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+        let args = Args::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+        dispatch(args, &Diag::new(true))
     }
 
     #[test]

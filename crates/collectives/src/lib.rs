@@ -28,5 +28,5 @@ pub mod registry;
 mod scatter;
 
 pub use heuristics::mpich_default;
-pub use microbench::{measure, Measurement, MicrobenchConfig};
+pub use microbench::{measure, measure_with_obs, Measurement, MicrobenchConfig};
 pub use registry::{Algorithm, Collective};

@@ -9,6 +9,7 @@
 
 use crate::registry::Algorithm;
 use acclaim_netsim::{Cluster, NoiseModel, RoundSim};
+use acclaim_obs::Obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -89,9 +90,45 @@ pub fn measure<R: Rng + ?Sized>(
     noise: &NoiseModel,
     rng: &mut R,
 ) -> Measurement {
+    measure_with_obs(
+        cluster,
+        ppn,
+        algorithm,
+        bytes,
+        config,
+        noise,
+        rng,
+        &Obs::disabled(),
+    )
+}
+
+/// [`measure`] with tracing: wraps the simulation in a
+/// `netsim/microbench` span (algorithm, shape, and simulated base time
+/// as attributes) and runs the round simulator with
+/// [`RoundSim::with_obs`] so its `netsim.roundsim.*` metrics land in
+/// the same recorder. Identical results to [`measure`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_with_obs<R: Rng + ?Sized>(
+    cluster: &Cluster,
+    ppn: u32,
+    algorithm: Algorithm,
+    bytes: u64,
+    config: &MicrobenchConfig,
+    noise: &NoiseModel,
+    rng: &mut R,
+    obs: &Obs,
+) -> Measurement {
+    let mut span = obs.span("netsim", "microbench");
+    if obs.is_enabled() {
+        span.set_attr("algorithm", format!("{algorithm:?}"));
+        span.set_attr("nodes", cluster.num_nodes() as u64);
+        span.set_attr("ppn", ppn as u64);
+        span.set_attr("bytes", bytes);
+    }
     let ranks = cluster.num_nodes() * ppn;
     let sched = algorithm.schedule(ranks, bytes);
-    let base = RoundSim::new().simulate(cluster, ppn, sched.as_ref());
+    let base = RoundSim::with_obs(obs).simulate(cluster, ppn, sched.as_ref());
+    span.set_attr("base_us", base);
     let iterations = config.iterations(bytes);
 
     let mut wall = config.launch_overhead_us;

@@ -12,6 +12,7 @@ use crate::learner::{ActiveLearner, LearnerConfig, TrainingOutcome};
 use crate::rules::{generate_rules, TunedSelector, TuningFile};
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_dataset::{traces::AppTrace, BenchmarkDatabase, FeatureSpace};
+use acclaim_obs::Obs;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -43,8 +44,34 @@ pub struct JobTuning {
 
 impl JobTuning {
     /// Total machine time spent training, including any test sets (µs).
+    /// Simulated cluster clock; excludes host-CPU model updates — see
+    /// [`JobTuning::training_cost_us`].
     pub fn training_wall_us(&self) -> f64 {
         self.reports.iter().map(|(_, o)| o.total_wall_us()).sum()
+    }
+
+    /// Machine time spent collecting training data only (µs).
+    pub fn collection_wall_us(&self) -> f64 {
+        self.reports.iter().map(|(_, o)| o.stats.wall_us).sum()
+    }
+
+    /// Machine time spent collecting test sets, when the criterion
+    /// required them (µs).
+    pub fn test_wall_us(&self) -> f64 {
+        self.reports.iter().map(|(_, o)| o.test_wall_us).sum()
+    }
+
+    /// Host CPU time spent on model updates — forest fits/refits and
+    /// variance scans (µs, real clock, not simulated).
+    pub fn model_update_wall_us(&self) -> f64 {
+        self.reports.iter().map(|(_, o)| o.model_update_wall_us).sum()
+    }
+
+    /// All-in training cost: machine time plus model-update CPU time
+    /// (µs). The terms tick on different clocks; see
+    /// [`TrainingOutcome::total_cost_us`].
+    pub fn training_cost_us(&self) -> f64 {
+        self.reports.iter().map(|(_, o)| o.total_cost_us()).sum()
     }
 
     /// A runtime selector over the generated file.
@@ -73,6 +100,16 @@ impl JobTuning {
             "total training time: {:.2} min",
             self.training_wall_us() / 60e6
         );
+        // Three-way cost split. Collection and test-set figures are
+        // simulated machine (allocation) time; model updates are host
+        // CPU time measured on the real clock.
+        let _ = writeln!(
+            s,
+            "cost split: collection {:.2} min, test sets {:.2} min (machine), model updates {:.2} s (host CPU)",
+            self.collection_wall_us() / 60e6,
+            self.test_wall_us() / 60e6,
+            self.model_update_wall_us() / 1e6,
+        );
         s
     }
 }
@@ -98,13 +135,29 @@ impl Acclaim {
     /// file. `db` stands in for the job's allocation: its cluster is
     /// where the microbenchmarks run.
     pub fn tune(&self, db: &BenchmarkDatabase, collectives: &[Collective]) -> JobTuning {
+        self.tune_with_obs(db, collectives, &Obs::disabled())
+    }
+
+    /// [`Acclaim::tune`] with tracing: each collective's training runs
+    /// under the learner's span tree on `obs`, and rule generation gets
+    /// its own `learner/generate_rules` span. Identical results to
+    /// [`Acclaim::tune`].
+    pub fn tune_with_obs(
+        &self,
+        db: &BenchmarkDatabase,
+        collectives: &[Collective],
+        obs: &Obs,
+    ) -> JobTuning {
         assert!(!collectives.is_empty(), "the user must list collectives");
         let learner = ActiveLearner::new(self.config.learner.clone());
         let mut reports = Vec::with_capacity(collectives.len());
         let mut tables = Vec::with_capacity(collectives.len());
         for &c in collectives {
-            let outcome = learner.train(db, c, &self.config.space, None);
-            tables.push(generate_rules(&outcome.model, &self.config.space));
+            let outcome = learner.train_with_obs(db, c, &self.config.space, None, obs);
+            {
+                let _span = obs.span("learner", "generate_rules");
+                tables.push(generate_rules(&outcome.model, &self.config.space));
+            }
             reports.push((c, outcome));
         }
         JobTuning {

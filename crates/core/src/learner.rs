@@ -15,13 +15,14 @@
 //! cumulative-variance (Sec. IV-C), test-set slowdown (prior art), or a
 //! fixed point budget (for sweeps).
 
-use crate::collector::{schedule_wave, CollectionStats};
+use crate::collector::{schedule_wave, CollectionStats, Placement};
 use crate::convergence::{SlowdownThreshold, VarianceConvergence};
 use crate::model::{PerfModel, TrainingSample};
 use crate::selection::{all_candidates, Candidate, NonP2Injector, VarianceScanCache};
 use acclaim_collectives::Collective;
 use acclaim_dataset::{splits, BenchmarkDatabase, FeatureSpace, Point};
 use acclaim_ml::{ForestConfig, TreeUpdate};
+use acclaim_obs::{AttrValue, Obs};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -221,9 +222,26 @@ pub struct TrainingOutcome {
 }
 
 impl TrainingOutcome {
-    /// Total machine time consumed: training + test collection (µs).
+    /// Total *machine* time consumed: training-data collection plus
+    /// test-set collection (µs). Both terms are simulated cluster wall
+    /// time — what the job allocation is billed for. Model-update time
+    /// is deliberately excluded: fits run on the host CPU while no
+    /// benchmark occupies the allocation. Use
+    /// [`TrainingOutcome::total_cost_us`] for the all-in figure.
     pub fn total_wall_us(&self) -> f64 {
         self.stats.wall_us + self.test_wall_us
+    }
+
+    /// Total training cost (µs): machine time
+    /// ([`TrainingOutcome::total_wall_us`], simulated cluster clock)
+    /// plus host CPU time spent on model updates
+    /// (`model_update_wall_us`, real `Instant` clock — forest
+    /// fits/refits and variance scans). The two terms tick on
+    /// different clocks; their sum is the end-to-end cost a user
+    /// waits for, the quantity the paper's training-time comparisons
+    /// charge.
+    pub fn total_cost_us(&self) -> f64 {
+        self.total_wall_us() + self.model_update_wall_us
     }
 
     /// The first record whose oracle slowdown is at or below `bound`,
@@ -266,6 +284,27 @@ impl ActiveLearner {
         space: &FeatureSpace,
         eval_points: Option<&[Point]>,
     ) -> TrainingOutcome {
+        self.train_with_obs(db, collective, space, eval_points, &Obs::disabled())
+    }
+
+    /// [`ActiveLearner::train`] with tracing: every phase of the loop
+    /// opens a span on `obs` (`learner/train` → `seed` / `iteration` →
+    /// `fit`, `variance_scan`, `convergence_check`, `select`,
+    /// `collect`), each collection slot emits a sim-timeline span on a
+    /// `nodes A-B` lane, and counters track non-P2 injections, explore
+    /// promotions, tree reuse, and DirtyRegion cell recomputes.
+    /// Instrumentation is behaviorally inert: it never touches the RNG
+    /// or any ordering, so the outcome is bit-identical to
+    /// [`ActiveLearner::train`] (the `obs_golden` integration test
+    /// proves it).
+    pub fn train_with_obs(
+        &self,
+        db: &BenchmarkDatabase,
+        collective: Collective,
+        space: &FeatureSpace,
+        eval_points: Option<&[Point]>,
+        obs: &Obs,
+    ) -> TrainingOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let candidates = all_candidates(collective, space);
@@ -273,6 +312,19 @@ impl ActiveLearner {
             space.max_nodes() <= db.config().cluster.num_nodes(),
             "feature space exceeds the job allocation"
         );
+        let mut train_span = obs.span("learner", "train");
+        if obs.is_enabled() {
+            train_span.set_attr("collective", format!("{collective:?}"));
+            train_span.set_attr("candidates", candidates.len() as u64);
+        }
+        let m_nonp2 = obs.counter("learner.non_p2_injections");
+        let m_explore = obs.counter("learner.explore_promotions");
+        let m_trees_refitted = obs.counter("learner.trees_refitted");
+        let m_trees_reused = obs.counter("learner.trees_reused");
+        let m_cells_recomputed = obs.counter("learner.scan_cells_recomputed");
+        let m_cells_reused = obs.counter("learner.scan_cells_reused");
+        let g_cumvar = obs.gauge("learner.cumulative_variance");
+        let g_samples = obs.gauge("learner.samples");
 
         let mut remaining: Vec<Candidate> = candidates.clone();
         let mut collected_set: HashSet<Candidate> = HashSet::new();
@@ -338,29 +390,40 @@ impl ActiveLearner {
             }
             seeds
         };
-        let mut pending = seed_points;
-        while !pending.is_empty() {
-            let wave: Vec<Candidate> = match cfg.strategy {
-                CollectionStrategy::Sequential => vec![pending.remove(0)],
-                CollectionStrategy::Parallel => {
-                    let cluster = &db.config().cluster;
-                    let w = schedule_wave(&cluster.topology, &cluster.allocation, &pending);
-                    // The greedy scheduler consumes a prefix of the list.
-                    pending.drain(..w.parallelism().max(1)).collect()
-                }
-            };
-            let mut costs = Vec::with_capacity(wave.len());
-            for c in wave {
-                let s = db.sample(c.algorithm, c.point);
-                collected.push(TrainingSample {
-                    point: c.point,
-                    algorithm: c.algorithm,
-                    time_us: s.mean_us,
-                });
-                collected_set.insert(c);
-                costs.push(s.wall_us);
+        {
+            let mut seed_span = obs.span("learner", "seed");
+            let mut pending = seed_points;
+            if obs.is_enabled() {
+                seed_span.set_attr("points", pending.len() as u64);
             }
-            stats.add_wave(&costs);
+            while !pending.is_empty() {
+                let (wave, placements): (Vec<Candidate>, Vec<Placement>) = match cfg.strategy {
+                    CollectionStrategy::Sequential => (vec![pending.remove(0)], Vec::new()),
+                    CollectionStrategy::Parallel => {
+                        let cluster = &db.config().cluster;
+                        let w = schedule_wave(&cluster.topology, &cluster.allocation, &pending);
+                        // The greedy scheduler consumes a prefix of the list.
+                        let wave = pending.drain(..w.parallelism().max(1)).collect();
+                        (wave, w.placements)
+                    }
+                };
+                let wave_start_us = stats.wall_us;
+                let mut costs = Vec::with_capacity(wave.len());
+                for (slot, c) in wave.into_iter().enumerate() {
+                    let s = db.sample(c.algorithm, c.point);
+                    collected.push(TrainingSample {
+                        point: c.point,
+                        algorithm: c.algorithm,
+                        time_us: s.mean_us,
+                    });
+                    collected_set.insert(c);
+                    if obs.is_enabled() {
+                        slot_span(obs, &placements, slot, c, wave_start_us, s.wall_us);
+                    }
+                    costs.push(s.wall_us);
+                }
+                stats.add_wave(&costs);
+            }
         }
         remaining.retain(|c| !collected_set.contains(c));
 
@@ -377,28 +440,55 @@ impl ActiveLearner {
         let mut model_update_wall_us = 0.0f64;
 
         for iteration in 0..cfg.max_iterations {
+            let mut iter_span = obs.span("learner", "iteration");
+            if obs.is_enabled() {
+                iter_span.set_attr("iteration", iteration as u64);
+            }
             // Model update. With `incremental` the model warm-starts
             // (only trees whose bootstrap drew a new sample refit) and
             // the cached variance scan recomputes only their columns;
             // otherwise everything rebuilds from scratch through the
             // same cache, so both paths produce identical rankings.
             let update_start = Instant::now();
-            let changed = match model.as_mut().filter(|_| cfg.incremental) {
-                Some(m) => m.fit_incremental(&collected, &cfg.forest),
-                None => {
-                    model = Some(PerfModel::fit(collective, &collected, &cfg.forest));
-                    TreeUpdate::full_refit(cfg.forest.n_trees)
+            let changed = {
+                let mut fit_span = obs.span("learner", "fit");
+                let changed = match model.as_mut().filter(|_| cfg.incremental) {
+                    Some(m) => m.fit_incremental(&collected, &cfg.forest),
+                    None => {
+                        model = Some(PerfModel::fit(collective, &collected, &cfg.forest));
+                        TreeUpdate::full_refit(cfg.forest.n_trees)
+                    }
+                };
+                m_trees_refitted.add(changed.len() as u64);
+                m_trees_reused.add(cfg.forest.n_trees.saturating_sub(changed.len()) as u64);
+                if obs.is_enabled() {
+                    fit_span.set_attr("samples", collected.len() as u64);
+                    fit_span.set_attr("trees_refitted", changed.len() as u64);
+                    fit_span.set_attr("trees_total", cfg.forest.n_trees as u64);
                 }
+                changed
             };
             let model = model.as_ref().expect("model fitted above");
-            cache.retain(|c| !collected_set.contains(c));
-            cache.refresh(model, &changed);
 
             // Primary-model ranking always feeds the convergence signal;
             // the *selection* order depends on the policy.
-            let primary_ranking = cache.ranking();
+            let primary_ranking = {
+                let mut scan_span = obs.span("learner", "variance_scan");
+                cache.retain(|c| !collected_set.contains(c));
+                let rs = cache.refresh(model, &changed);
+                m_cells_recomputed.add(rs.cells_recomputed as u64);
+                m_cells_reused.add(rs.cells_reused() as u64);
+                if obs.is_enabled() {
+                    scan_span.set_attr("cells_total", rs.cells_total as u64);
+                    scan_span.set_attr("cells_recomputed", rs.cells_recomputed as u64);
+                    scan_span.set_attr("full", rs.full);
+                }
+                cache.ranking()
+            };
             let model_update_us = update_start.elapsed().as_secs_f64() * 1e6;
             model_update_wall_us += model_update_us;
+            g_cumvar.set(primary_ranking.cumulative);
+            g_samples.set(collected.len() as f64);
             let oracle_slowdown = eval_points
                 .map(|pts| db.average_slowdown(collective, pts, |p| model.select(p)));
             log.push(IterationRecord {
@@ -411,29 +501,40 @@ impl ActiveLearner {
                 wave_parallelism: last_parallelism,
             });
 
-            // Stop checks.
-            if collected.len() >= budget {
-                converged = matches!(cfg.criterion, CriterionConfig::MaxPoints(_));
-                break;
-            }
-            if let Some(v) = variance_conv.as_mut() {
-                if v.push(primary_ranking.cumulative) {
+            // Stop checks. Structured as a single decision so the span
+            // guard closes before the loop breaks; the check order and
+            // short-circuiting match the original cascade exactly.
+            let stop = {
+                let mut conv_span = obs.span("learner", "convergence_check");
+                let stop = if collected.len() >= budget {
+                    converged = matches!(cfg.criterion, CriterionConfig::MaxPoints(_));
+                    true
+                } else if variance_conv
+                    .as_mut()
+                    .is_some_and(|v| v.push(primary_ranking.cumulative))
+                    || slowdown_threshold
+                        .zip(test_points.as_ref())
+                        .is_some_and(|(th, pts)| {
+                            th.check(db.average_slowdown(collective, pts, |p| model.select(p)))
+                        })
+                {
                     converged = true;
-                    break;
+                    true
+                } else {
+                    remaining.is_empty()
+                };
+                if obs.is_enabled() {
+                    conv_span.set_attr("cumulative_variance", primary_ranking.cumulative);
+                    conv_span.set_attr("stop", stop);
                 }
-            }
-            if let (Some(th), Some(pts)) = (slowdown_threshold, test_points.as_ref()) {
-                let s = db.average_slowdown(collective, pts, |p| model.select(p));
-                if th.check(s) {
-                    converged = true;
-                    break;
-                }
-            }
-            if remaining.is_empty() {
+                stop
+            };
+            if stop {
                 break;
             }
 
             // Selection order for this iteration.
+            let mut select_span = obs.span("learner", "select");
             let mut ordered: Vec<Candidate> = match &cfg.policy {
                 SelectionPolicy::OwnVariance => {
                     primary_ranking.ranked.iter().map(|&(c, _)| c).collect()
@@ -489,41 +590,62 @@ impl ActiveLearner {
                 if every > 0 && explore_counter.is_multiple_of(every) {
                     let pick = rng.random_range(0..ordered.len());
                     ordered.swap(0, pick);
+                    m_explore.incr();
                 }
+            }
+            if obs.is_enabled() {
+                select_span.set_attr("candidates", ordered.len() as u64);
             }
 
             // Build the wave (one point for sequential collection).
-            let wave_candidates: Vec<Candidate> = match cfg.strategy {
-                CollectionStrategy::Sequential => vec![ordered[0]],
-                CollectionStrategy::Parallel => {
-                    let cluster = &db.config().cluster;
-                    let wave = schedule_wave(&cluster.topology, &cluster.allocation, &ordered);
-                    wave.placements
-                        .iter()
-                        .map(|p| ordered[p.candidate_index])
-                        .collect()
-                }
-            };
+            let (wave_candidates, wave_placements): (Vec<Candidate>, Vec<Placement>) =
+                match cfg.strategy {
+                    CollectionStrategy::Sequential => (vec![ordered[0]], Vec::new()),
+                    CollectionStrategy::Parallel => {
+                        let cluster = &db.config().cluster;
+                        let wave = schedule_wave(&cluster.topology, &cluster.allocation, &ordered);
+                        let cands = wave
+                            .placements
+                            .iter()
+                            .map(|p| ordered[p.candidate_index])
+                            .collect();
+                        (cands, wave.placements)
+                    }
+                };
+            drop(select_span);
             debug_assert!(!wave_candidates.is_empty());
             last_parallelism = wave_candidates.len();
 
             // Collect the wave (with every-5th non-P2 substitution).
+            let wave_start_us = stats.wall_us;
             let mut costs = Vec::with_capacity(wave_candidates.len());
-            for anchor in wave_candidates {
-                let actual = match injector.as_mut() {
-                    Some(inj) => inj.apply(anchor, &mut rng),
-                    None => anchor,
-                };
-                let s = db.sample(actual.algorithm, actual.point);
-                collected.push(TrainingSample {
-                    point: actual.point,
-                    algorithm: actual.algorithm,
-                    time_us: s.mean_us,
-                });
-                costs.push(s.wall_us);
-                // The P2 anchor leaves the pool either way: it was
-                // either collected or represented by its non-P2 variant.
-                collected_set.insert(anchor);
+            {
+                let mut collect_span = obs.span("learner", "collect");
+                if obs.is_enabled() {
+                    collect_span.set_attr("parallelism", wave_candidates.len() as u64);
+                }
+                for (slot, anchor) in wave_candidates.into_iter().enumerate() {
+                    let actual = match injector.as_mut() {
+                        Some(inj) => inj.apply(anchor, &mut rng),
+                        None => anchor,
+                    };
+                    if actual != anchor {
+                        m_nonp2.incr();
+                    }
+                    let s = db.sample(actual.algorithm, actual.point);
+                    collected.push(TrainingSample {
+                        point: actual.point,
+                        algorithm: actual.algorithm,
+                        time_us: s.mean_us,
+                    });
+                    if obs.is_enabled() {
+                        slot_span(obs, &wave_placements, slot, actual, wave_start_us, s.wall_us);
+                    }
+                    costs.push(s.wall_us);
+                    // The P2 anchor leaves the pool either way: it was
+                    // either collected or represented by its non-P2 variant.
+                    collected_set.insert(anchor);
+                }
             }
             remaining.retain(|c| !collected_set.contains(c));
             stats.add_wave(&costs);
@@ -533,14 +655,21 @@ impl ActiveLearner {
         // scratch fit on the full collection, so reuse it (catching up
         // on any wave collected after the last in-loop refit).
         let final_start = Instant::now();
-        let model = match model {
-            Some(mut m) if cfg.incremental => {
-                m.fit_incremental(&collected, &cfg.forest);
-                m
+        let model = {
+            let _fit_span = obs.span("learner", "final_fit");
+            match model {
+                Some(mut m) if cfg.incremental => {
+                    m.fit_incremental(&collected, &cfg.forest);
+                    m
+                }
+                _ => PerfModel::fit(collective, &collected, &cfg.forest),
             }
-            _ => PerfModel::fit(collective, &collected, &cfg.forest),
         };
         model_update_wall_us += final_start.elapsed().as_secs_f64() * 1e6;
+        if obs.is_enabled() {
+            train_span.set_attr("converged", converged);
+            train_span.set_attr("points", collected.len() as u64);
+        }
         TrainingOutcome {
             model,
             log,
@@ -551,6 +680,44 @@ impl ActiveLearner {
             model_update_wall_us,
         }
     }
+}
+
+/// Emit one closed sim-timeline span for a collection slot, on a
+/// display lane named after the node range the benchmark occupied
+/// (`"nodes A-B"`). Parallel waves have a [`Placement`] per slot (the
+/// scheduler consumes a prefix of the candidate list, so placements
+/// align with wave slots by index); sequential collection synthesizes
+/// a run starting at node 0. Chrome's trace viewer renders these lanes
+/// as concurrent rows, making wave parallelism visible.
+fn slot_span(
+    obs: &Obs,
+    placements: &[Placement],
+    slot: usize,
+    c: Candidate,
+    wave_start_us: f64,
+    cost_us: f64,
+) {
+    let (start_node, node_count) = match placements.get(slot) {
+        Some(p) => (p.start_node, p.node_count.max(1)),
+        None => (0, c.point.nodes.max(1)),
+    };
+    let track = format!("nodes {}-{}", start_node, start_node + node_count - 1);
+    obs.span_at(
+        "collect",
+        "slot",
+        &track,
+        wave_start_us,
+        wave_start_us + cost_us,
+        vec![
+            (
+                "algorithm".to_string(),
+                AttrValue::from(format!("{:?}", c.algorithm)),
+            ),
+            ("nodes".to_string(), AttrValue::from(c.point.nodes as u64)),
+            ("ppn".to_string(), AttrValue::from(c.point.ppn as u64)),
+            ("msg_bytes".to_string(), AttrValue::from(c.point.msg_bytes)),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -34,5 +34,5 @@ pub use learner::{
 pub use model::{PerfModel, TrainingSample};
 pub use rules::{generate_rules, CollectiveRules, Rule, RuleSet, TunedSelector, TuningFile};
 pub use selection::{
-    all_candidates, rank_by_variance, Candidate, NonP2Injector, VarianceScanCache,
+    all_candidates, rank_by_variance, Candidate, NonP2Injector, RefreshStats, VarianceScanCache,
 };

@@ -138,19 +138,29 @@ impl VarianceScanCache {
     /// runs in place (no per-row allocation) over parallel row chunks.
     /// The first refresh — or any refresh where the tree count moved or
     /// every tree changed everywhere — fills the whole matrix.
-    pub fn refresh(&mut self, model: &PerfModel, changed: &[TreeUpdate]) {
+    ///
+    /// Returns how much work the dirty-region tracking saved; the
+    /// result feeds observability only and never decisions.
+    pub fn refresh(&mut self, model: &PerfModel, changed: &[TreeUpdate]) -> RefreshStats {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let t = model.n_trees();
         let full = !self.filled
             || t != self.n_trees
             || (changed.len() >= t && changed.iter().all(|u| u.dirty.is_whole()));
+        let cells_total = self.candidates.len() * t;
         if !full && changed.is_empty() {
-            return;
+            return RefreshStats {
+                cells_total,
+                cells_recomputed: 0,
+                full: false,
+            };
         }
         if full {
             self.preds.clear();
             self.preds.resize(self.candidates.len() * t, 0.0);
         }
         let candidates = &self.candidates;
+        let recomputed = AtomicUsize::new(0);
         self.preds
             .par_chunks_mut(t)
             .enumerate()
@@ -162,15 +172,29 @@ impl VarianceScanCache {
                         *cell = model.tree_log_prediction(tree, &features);
                     }
                 } else {
+                    let mut row_hits = 0usize;
                     for u in changed {
                         if u.dirty.contains(&features) {
                             row[u.tree] = model.tree_log_prediction(u.tree, &features);
+                            row_hits += 1;
                         }
+                    }
+                    if row_hits > 0 {
+                        recomputed.fetch_add(row_hits, Ordering::Relaxed);
                     }
                 }
             });
         self.n_trees = t;
         self.filled = true;
+        RefreshStats {
+            cells_total,
+            cells_recomputed: if full {
+                cells_total
+            } else {
+                recomputed.into_inner()
+            },
+            full,
+        }
     }
 
     /// Rank the cached candidates by jackknife variance — bit-identical
@@ -190,6 +214,26 @@ impl VarianceScanCache {
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let cumulative = ranked.iter().map(|&(_, v)| v).sum();
         VarianceRanking { ranked, cumulative }
+    }
+}
+
+/// What one [`VarianceScanCache::refresh`] actually did — the
+/// DirtyRegion bookkeeping's measurable payoff. Purely observational:
+/// the cached predictions are identical whether or not anyone looks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Matrix size at refresh time (candidates × trees).
+    pub cells_total: usize,
+    /// Cells actually recomputed (equals `cells_total` on a full fill).
+    pub cells_recomputed: usize,
+    /// Whether the whole matrix was (re)filled.
+    pub full: bool,
+}
+
+impl RefreshStats {
+    /// Cells the dirty-region tracking skipped.
+    pub fn cells_reused(&self) -> usize {
+        self.cells_total - self.cells_recomputed
     }
 }
 

@@ -10,8 +10,11 @@
 //! built databases agree bit-for-bit.
 
 use crate::space::{FeatureSpace, Point};
-use acclaim_collectives::{measure, Algorithm, Collective, Measurement, MicrobenchConfig};
+use acclaim_collectives::{
+    measure_with_obs, Algorithm, Collective, Measurement, MicrobenchConfig,
+};
 use acclaim_netsim::{Cluster, NoiseModel};
+use acclaim_obs::{Counter, Histogram, Obs};
 use rand::{rngs::StdRng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -98,6 +101,10 @@ impl From<Measurement> for Sample {
 pub struct BenchmarkDatabase {
     config: DatasetConfig,
     cache: Mutex<HashMap<(Algorithm, Point), Sample>>,
+    obs: Obs,
+    cache_hits: Counter,
+    benchmarks: Counter,
+    bench_wall_us: Histogram,
 }
 
 impl BenchmarkDatabase {
@@ -107,7 +114,23 @@ impl BenchmarkDatabase {
         BenchmarkDatabase {
             config,
             cache: Mutex::new(HashMap::new()),
+            obs: Obs::disabled(),
+            cache_hits: Counter::default(),
+            benchmarks: Counter::default(),
+            bench_wall_us: Histogram::default(),
         }
+    }
+
+    /// Record `dataset.*` metrics (cache hits, benchmarks executed, a
+    /// per-benchmark wall-cost histogram) into `obs`, and trace every
+    /// uncached benchmark through the instrumented microbenchmark
+    /// harness. Sampling results are unchanged.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self.cache_hits = obs.counter("dataset.cache_hits");
+        self.benchmarks = obs.counter("dataset.benchmarks");
+        self.bench_wall_us = obs.histogram("dataset.bench_wall_us");
+        self
     }
 
     /// The configuration the database samples under.
@@ -143,7 +166,8 @@ impl BenchmarkDatabase {
         );
         let sub = self.config.cluster.sub_cluster(0, point.nodes);
         let mut rng = self.sample_rng(algorithm, point);
-        measure(
+        self.benchmarks.incr();
+        let m = measure_with_obs(
             &sub,
             point.ppn,
             algorithm,
@@ -151,13 +175,16 @@ impl BenchmarkDatabase {
             &self.config.bench,
             &self.config.noise,
             &mut rng,
-        )
-        .into()
+            &self.obs,
+        );
+        self.bench_wall_us.record(m.wall_us);
+        m.into()
     }
 
     /// Look a sample up, benchmarking and memoizing on first access.
     pub fn sample(&self, algorithm: Algorithm, point: Point) -> Sample {
         if let Some(&s) = self.cache.lock().expect("cache lock").get(&(algorithm, point)) {
+            self.cache_hits.incr();
             return s;
         }
         let s = self.bench(algorithm, point);

@@ -10,6 +10,7 @@
 
 use crate::cluster::Cluster;
 use crate::schedule::{MaterializedSchedule, Msg};
+use acclaim_obs::{Counter, Histogram, Obs};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -130,13 +131,42 @@ impl Ord for QueuedEvent {
 /// Flow-level discrete-event simulator.
 #[derive(Debug, Default)]
 pub struct FlowSim {
-    _private: (),
+    obs: FlowSimObs,
+}
+
+/// Pre-resolved metric handles ([`FlowSim::with_obs`]); default
+/// (disabled) handles drop every record.
+#[derive(Debug, Default)]
+struct FlowSimObs {
+    calls: Counter,
+    events: Counter,
+    stale_events: Counter,
+    flows: Counter,
+    sim_us: Histogram,
+    host_us: Histogram,
 }
 
 impl FlowSim {
     /// A fresh simulator.
     pub fn new() -> Self {
         FlowSim::default()
+    }
+
+    /// A simulator recording `netsim.des.*` metrics into `obs`: calls,
+    /// processed and stale events, flows, and paired histograms of
+    /// *simulated* completion time vs. *host* time spent computing it —
+    /// the DES's two timelines side by side.
+    pub fn with_obs(obs: &Obs) -> Self {
+        FlowSim {
+            obs: FlowSimObs {
+                calls: obs.counter("netsim.des.calls"),
+                events: obs.counter("netsim.des.events"),
+                stale_events: obs.counter("netsim.des.stale_events"),
+                flows: obs.counter("netsim.des.flows"),
+                sim_us: obs.histogram("netsim.des.sim_us"),
+                host_us: obs.histogram("netsim.des.host_us"),
+            },
+        }
     }
 
     /// Simulate one execution; returns the completion time (µs) at which
@@ -154,8 +184,14 @@ impl FlowSim {
             "schedule needs {ranks} ranks but allocation provides {}x{ppn}",
             cluster.num_nodes()
         );
+        let host_start = std::time::Instant::now();
+        self.obs.calls.incr();
         let n_rounds = sched.rounds.len() as u32;
         if n_rounds == 0 || ranks == 0 {
+            self.obs.sim_us.record(0.0);
+            self.obs
+                .host_us
+                .record(host_start.elapsed().as_secs_f64() * 1e6);
             return 0.0;
         }
 
@@ -266,7 +302,9 @@ impl FlowSim {
             );
         }
 
+        self.obs.flows.add(flows.len() as u64);
         while let Some(Reverse(QueuedEvent { time, event, .. })) = heap.pop() {
+            self.obs.events.incr();
             finish = finish.max(time);
             match event {
                 Event::FlowStart(fid) => {
@@ -283,10 +321,12 @@ impl FlowSim {
                 Event::TransferEnd(fid, generation) => {
                     let f = &flows[fid as usize];
                     if !f.active || f.generation != generation {
+                        self.obs.stale_events.incr();
                         continue; // stale event from a superseded rate
                     }
                     let elapsed = time - f.last_update;
                     if f.remaining - f.rate * elapsed > EPS_BYTES {
+                        self.obs.stale_events.incr();
                         continue; // stale: rate dropped since scheduling
                     }
                     let latency = f.latency;
@@ -366,6 +406,10 @@ impl FlowSim {
             }
         }
 
+        self.obs.sim_us.record(finish);
+        self.obs
+            .host_us
+            .record(host_start.elapsed().as_secs_f64() * 1e6);
         finish
     }
 }

@@ -17,6 +17,7 @@
 use crate::cluster::Cluster;
 use crate::schedule::{Msg, Schedule};
 use crate::topology::Layer;
+use acclaim_obs::{Counter, Histogram, Obs};
 
 /// Scratch-reusing round simulator.
 ///
@@ -32,6 +33,17 @@ pub struct RoundSim {
     rank_msgs: CountMap,
     rank_reduce: Vec<u64>,
     reduce_touched: Vec<u32>,
+    obs: RoundSimObs,
+}
+
+/// Pre-resolved metric handles ([`RoundSim::with_obs`]); default
+/// (disabled) handles drop every record.
+#[derive(Debug, Default)]
+struct RoundSimObs {
+    calls: Counter,
+    rounds: Counter,
+    messages: Counter,
+    sim_us: Histogram,
 }
 
 /// A dense counter array with a touched-list for O(touched) clearing.
@@ -84,6 +96,21 @@ impl RoundSim {
         RoundSim::default()
     }
 
+    /// A simulator recording `netsim.roundsim.*` metrics (call, round,
+    /// and message counts plus a completion-time histogram) into `obs`.
+    /// Handles resolve once here; recording never takes a lock.
+    pub fn with_obs(obs: &Obs) -> Self {
+        RoundSim {
+            obs: RoundSimObs {
+                calls: obs.counter("netsim.roundsim.calls"),
+                rounds: obs.counter("netsim.roundsim.rounds"),
+                messages: obs.counter("netsim.roundsim.messages"),
+                sim_us: obs.histogram("netsim.roundsim.sim_us"),
+            },
+            ..RoundSim::default()
+        }
+    }
+
     /// Simulate one execution of `sched` on `cluster` with `ppn` ranks
     /// per node; returns the completion time in microseconds.
     ///
@@ -111,13 +138,18 @@ impl RoundSim {
         sched.visit_rounds(&mut |round| {
             total += self.round_time(cluster, ppn, round);
         });
-        total + epilogue_time(cluster, ppn, sched.epilogue_local_bytes())
+        total += epilogue_time(cluster, ppn, sched.epilogue_local_bytes());
+        self.obs.calls.incr();
+        self.obs.sim_us.record(total);
+        total
     }
 
     /// Price a single round.
     fn round_time(&mut self, cluster: &Cluster, ppn: u32, round: &[Msg]) -> f64 {
         let params = &cluster.params;
         let topo = &cluster.topology;
+        self.obs.rounds.incr();
+        self.obs.messages.add(round.len() as u64);
 
         // Pass 1: contention counts per shared resource.
         for m in round {

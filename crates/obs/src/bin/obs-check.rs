@@ -1,0 +1,38 @@
+//! `obs-check` — validate a JSONL trace against the acclaim-obs schema.
+//!
+//! Usage: `obs-check <trace.jsonl> [more.jsonl ...]`
+//!
+//! Exits 0 when every file validates (printing a per-file line count),
+//! 1 with a line-numbered error otherwise. CI runs this over the traces
+//! emitted by the quickstart example.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs-check <trace.jsonl> [more.jsonl ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match acclaim_obs::schema::validate_trace(&text) {
+                Ok(n) => println!("{path}: {n} lines ok"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

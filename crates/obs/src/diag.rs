@@ -1,0 +1,71 @@
+//! Leveled stderr diagnostics for the CLI.
+//!
+//! One funnel for everything a command says on stderr, so `--quiet`
+//! has a single switch to honor: errors always print, warnings always
+//! print (they change what the user should do next), progress notes
+//! are suppressed when quiet.
+
+/// Stderr diagnostic sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Diag {
+    quiet: bool,
+}
+
+impl Diag {
+    /// A sink honoring `quiet` for progress output.
+    pub fn new(quiet: bool) -> Self {
+        Diag { quiet }
+    }
+
+    /// Whether progress output is suppressed.
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// An error: printed verbatim, never suppressed. Kept free of any
+    /// prefix so callers control the exact message (usage text, parse
+    /// errors) shown to scripts that match on stderr.
+    pub fn error(&self, msg: &str) {
+        eprintln!("{msg}");
+    }
+
+    /// A warning: prefixed, never suppressed.
+    pub fn warn(&self, msg: &str) {
+        eprintln!("{}", Self::format_warn(msg));
+    }
+
+    /// A progress note: prefixed, dropped under `--quiet`.
+    pub fn progress(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("{}", Self::format_progress(msg));
+        }
+    }
+
+    /// Warning line format (exposed for tests).
+    pub fn format_warn(msg: &str) -> String {
+        format!("warning: {msg}")
+    }
+
+    /// Progress line format (exposed for tests).
+    pub fn format_progress(msg: &str) -> String {
+        format!("-- {msg}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_is_tracked() {
+        assert!(!Diag::new(false).is_quiet());
+        assert!(Diag::new(true).is_quiet());
+        assert!(!Diag::default().is_quiet());
+    }
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(Diag::format_warn("x"), "warning: x");
+        assert_eq!(Diag::format_progress("y"), "-- y");
+    }
+}

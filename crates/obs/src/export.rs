@@ -1,0 +1,385 @@
+//! Trace exporters: JSONL structured events, Chrome `trace_event`
+//! JSON, and a human terminal summary.
+//!
+//! * [`to_jsonl`] writes one self-describing JSON object per line —
+//!   the machine-readable archive format validated by
+//!   [`crate::schema`] and the `obs-check` binary.
+//! * [`to_chrome`] writes the Chrome trace-event array format: open
+//!   `chrome://tracing` (or <https://ui.perfetto.dev>) and load the
+//!   file to see host spans and simulated collection lanes side by
+//!   side.
+//! * [`summary`] renders per-span aggregates and metrics as a terminal
+//!   table for quick inspection without leaving the shell.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde_json::{json, Map, Number, Value};
+
+use crate::recorder::TraceSnapshot;
+use crate::span::{AttrValue, SpanRecord, Timeline};
+
+/// Schema version stamped into the JSONL meta line.
+pub const JSONL_VERSION: u64 = 1;
+
+fn attr_to_value(attr: &AttrValue) -> Value {
+    match attr {
+        AttrValue::U64(v) => Value::Number(Number::from_u64(*v)),
+        AttrValue::I64(v) => Value::Number(Number::from_i64(*v)),
+        AttrValue::F64(v) => Value::Number(Number::from_f64(*v)),
+        AttrValue::Bool(v) => Value::Bool(*v),
+        AttrValue::Str(v) => Value::String(v.clone()),
+    }
+}
+
+fn attrs_to_object(attrs: &[(String, AttrValue)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in attrs {
+        m.insert(k.clone(), attr_to_value(v));
+    }
+    Value::Object(m)
+}
+
+fn span_to_value(span: &SpanRecord) -> Value {
+    json!({
+        "type": "span",
+        "id": span.id,
+        "parent": span.parent.map_or(Value::Null, |p| json!(p)),
+        "name": span.name.as_str(),
+        "cat": span.cat.as_str(),
+        "track": span.track.as_str(),
+        "timeline": span.timeline.as_str(),
+        "start_us": span.start_us,
+        "end_us": span.end_us,
+        "attrs": attrs_to_object(&span.attrs),
+    })
+}
+
+/// Serialize a snapshot as JSON Lines: a `meta` line, then one line per
+/// span, counter, gauge, and histogram. Every line is a complete JSON
+/// object with a `type` field (see [`crate::schema`]).
+pub fn to_jsonl(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let mut push = |v: &Value| {
+        out.push_str(&serde_json::to_string(v).expect("serialize trace line"));
+        out.push('\n');
+    };
+    push(&json!({
+        "type": "meta",
+        "version": JSONL_VERSION,
+        "clock": snapshot.clock,
+    }));
+    for span in &snapshot.spans {
+        push(&span_to_value(span));
+    }
+    for (name, value) in &snapshot.metrics.counters {
+        push(&json!({
+            "type": "counter",
+            "name": name.as_str(),
+            "value": *value,
+        }));
+    }
+    for (name, value) in &snapshot.metrics.gauges {
+        push(&json!({
+            "type": "gauge",
+            "name": name.as_str(),
+            "value": *value,
+        }));
+    }
+    for (name, hist) in &snapshot.metrics.histograms {
+        let buckets: Vec<Value> = hist
+            .buckets
+            .iter()
+            .map(|b| {
+                json!({
+                    "lo": b.lo,
+                    "hi": if b.hi.is_finite() { json!(b.hi) } else { Value::Null },
+                    "count": b.count,
+                })
+            })
+            .collect();
+        push(&json!({
+            "type": "histogram",
+            "name": name.as_str(),
+            "count": hist.count,
+            "sum": hist.sum,
+            "min": hist.min,
+            "max": hist.max,
+            "buckets": buckets,
+        }));
+    }
+    out
+}
+
+/// Chrome trace-event pid for host-timeline spans.
+const PID_HOST: u64 = 1;
+/// Chrome trace-event pid for sim-timeline spans.
+const PID_SIM: u64 = 2;
+
+/// Serialize a snapshot in the Chrome `trace_event` array format.
+///
+/// Host and sim timelines become separate processes (their microsecond
+/// axes are unrelated); each distinct track becomes a named thread, so
+/// parallel collection slots render as concurrent lanes.
+pub fn to_chrome(snapshot: &TraceSnapshot) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    // Stable tid per (pid, track), in first-appearance order.
+    let mut tids: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let pid = match span.timeline {
+            Timeline::Host => PID_HOST,
+            Timeline::Sim => PID_SIM,
+        };
+        let next = tids.len() as u64 + 1;
+        let tid = *tids.entry((pid, span.track.clone())).or_insert(next);
+        events.push(json!({
+            "name": span.name.as_str(),
+            "cat": span.cat.as_str(),
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us(),
+            "pid": pid,
+            "tid": tid,
+            "args": attrs_to_object(&span.attrs),
+        }));
+    }
+    let mut meta: Vec<Value> = Vec::new();
+    for pid in [PID_HOST, PID_SIM] {
+        if tids.keys().any(|(p, _)| *p == pid) {
+            let label = if pid == PID_HOST {
+                format!("host ({} clock)", snapshot.clock)
+            } else {
+                "simulated cluster time".to_string()
+            };
+            meta.push(json!({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0u64,
+                "args": json!({ "name": label.as_str() }),
+            }));
+        }
+    }
+    for ((pid, track), tid) in &tids {
+        meta.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": *pid,
+            "tid": *tid,
+            "args": json!({ "name": track.as_str() }),
+        }));
+    }
+    meta.extend(events);
+    serde_json::to_string(&Value::Array(meta)).expect("serialize chrome trace")
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Render a snapshot as a terminal summary: span aggregates grouped by
+/// `(cat, name)`, then counters, gauges, and histogram statistics.
+pub fn summary(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace summary (clock: {})", snapshot.clock);
+
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total_us: f64,
+        max_us: f64,
+    }
+    let mut aggs: BTreeMap<(String, String), Agg> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let agg = aggs
+            .entry((span.cat.clone(), span.name.clone()))
+            .or_default();
+        agg.count += 1;
+        agg.total_us += span.duration_us();
+        agg.max_us = agg.max_us.max(span.duration_us());
+    }
+    if !aggs.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>7} {:>11} {:>11} {:>11}",
+            "span (cat/name)", "count", "total", "mean", "max"
+        );
+        for ((cat, name), agg) in &aggs {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>7} {:>11} {:>11} {:>11}",
+                format!("{cat}/{name}"),
+                agg.count,
+                fmt_us(agg.total_us),
+                fmt_us(agg.total_us / agg.count as f64),
+                fmt_us(agg.max_us),
+            );
+        }
+    }
+    if !snapshot.metrics.counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (name, value) in &snapshot.metrics.counters {
+            let _ = writeln!(out, "    {name:<40} {value}");
+        }
+    }
+    if !snapshot.metrics.gauges.is_empty() {
+        let _ = writeln!(out, "  gauges:");
+        for (name, value) in &snapshot.metrics.gauges {
+            let _ = writeln!(out, "    {name:<40} {value:.3}");
+        }
+    }
+    if !snapshot.metrics.histograms.is_empty() {
+        let _ = writeln!(out, "  histograms:");
+        for (name, hist) in &snapshot.metrics.histograms {
+            let _ = writeln!(
+                out,
+                "    {:<40} n={} mean={} min={} max={}",
+                name,
+                hist.count,
+                fmt_us(hist.mean()),
+                fmt_us(hist.min),
+                fmt_us(hist.max),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::Obs;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let clock = ManualClock::new();
+        let obs = Obs::with_clock(Box::new(clock.clone()));
+        {
+            let _outer = obs.span("learner", "iteration").attr("iter", 0u64);
+            clock.set_us(40.0);
+            {
+                let _fit = obs.span("learner", "fit");
+                clock.set_us(90.0);
+            }
+            clock.set_us(100.0);
+        }
+        obs.span_at(
+            "collect",
+            "slot",
+            "nodes 0-3",
+            0.0,
+            55.0,
+            vec![("bytes".to_string(), AttrValue::U64(4096))],
+        );
+        obs.incr_counter("learner.non_p2_injections", 2);
+        obs.set_gauge("learner.cumulative_variance", 0.25);
+        obs.record_hist("netsim.round_us", 12.5);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_with_types() {
+        let text = to_jsonl(&sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + 1 + 1 + 1);
+        let meta: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(meta.get("clock").unwrap().as_str(), Some("manual"));
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("type").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn jsonl_span_lines_carry_hierarchy() {
+        let text = to_jsonl(&sample_snapshot());
+        let spans: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &Value| v.get("type").unwrap().as_str() == Some("span"))
+            .collect();
+        let outer = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("iteration"))
+            .unwrap();
+        let fit = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("fit"))
+            .unwrap();
+        assert!(outer.get("parent").unwrap().is_null());
+        assert_eq!(
+            fit.get("parent").unwrap().as_u64(),
+            outer.get("id").unwrap().as_u64()
+        );
+        let slot = spans
+            .iter()
+            .find(|s| s.get("timeline").unwrap().as_str() == Some("sim"))
+            .unwrap();
+        assert_eq!(slot.get("track").unwrap().as_str(), Some("nodes 0-3"));
+        assert_eq!(
+            slot.get("attrs").unwrap().get("bytes").unwrap().as_u64(),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_trace_event_json() {
+        let text = to_chrome(&sample_snapshot());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.as_array().unwrap();
+        let complete: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 3);
+        for e in &complete {
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        // Host and sim land in different pids.
+        let pids: std::collections::BTreeSet<u64> = complete
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        // Metadata names both processes and every thread lane.
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert!(metas
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("process_name")));
+        assert!(metas.iter().any(|e| {
+            e.get("name").unwrap().as_str() == Some("thread_name")
+                && e.get("args").unwrap().get("name").unwrap().as_str() == Some("nodes 0-3")
+        }));
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_metrics() {
+        let text = summary(&sample_snapshot());
+        assert!(text.contains("learner/iteration"));
+        assert!(text.contains("collect/slot"));
+        assert!(text.contains("learner.non_p2_injections"));
+        assert!(text.contains("learner.cumulative_variance"));
+        assert!(text.contains("netsim.round_us"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = Obs::disabled().snapshot();
+        let jsonl = to_jsonl(&snap);
+        assert_eq!(jsonl.lines().count(), 1); // just the meta line
+        let chrome = to_chrome(&snap);
+        let v: Value = serde_json::from_str(&chrome).unwrap();
+        assert!(v.as_array().unwrap().is_empty());
+    }
+}

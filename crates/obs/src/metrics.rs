@@ -1,0 +1,395 @@
+//! Counters, gauges, and log₂-bucketed histograms.
+//!
+//! The registry hands out `Arc`-shared handles; after the one-time
+//! lookup every record operation is a handful of lock-free atomics on
+//! fixed-size storage — no allocation, no mutex — so metrics are safe
+//! to thread through hot simulation loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets. Bucket `i` covers values `v` (µs) with
+/// `2^(i-32) <= v < 2^(i-31)`; bucket 0 additionally absorbs zero,
+/// negative, and sub-`2^-32` values, bucket 63 everything at or above
+/// `2^31` µs (~36 minutes). The fixed power-of-two ladder keeps
+/// recording allocation-free and makes bucket boundaries exact in
+/// binary floating point.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Exponent offset of the bucket ladder: bucket `i` starts at
+/// `2^(i - BUCKET_EXP_OFFSET)`.
+pub const BUCKET_EXP_OFFSET: i64 = 32;
+
+/// The bucket a value lands in. Uses the IEEE-754 exponent directly so
+/// exact powers of two always land on their own lower bound.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let biased = ((v.to_bits() >> 52) & 0x7ff) as i64;
+    // Subnormals (biased == 0) sit far below bucket 0's range anyway.
+    let e = biased - 1023;
+    (e + BUCKET_EXP_OFFSET).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Inclusive lower bound of bucket `i` (0.0 for bucket 0, which also
+/// catches everything smaller).
+pub fn bucket_lower_bound(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        ((i as i64 - BUCKET_EXP_OFFSET) as f64).exp2()
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (`f64::INFINITY` for the last).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        f64::INFINITY
+    } else {
+        ((i as i64 + 1 - BUCKET_EXP_OFFSET) as f64).exp2()
+    }
+}
+
+/// Atomically add `v` to an f64 stored as bits in `cell`.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Atomically fold `v` into an f64 min/max cell.
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, pick: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let folded = pick(f64::from_bits(cur), v);
+        if folded.to_bits() == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, folded.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct CounterCore {
+    value: AtomicU64,
+}
+
+/// Handle to a counter; a default (disabled) handle ignores updates.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug)]
+pub struct GaugeCore {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeCore {
+    fn default() -> Self {
+        GaugeCore {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// Handle to a gauge; a default (disabled) handle ignores updates.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// Fixed-size log₂-bucketed histogram (see [`bucket_index`]).
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Handle to a histogram; a default (disabled) handle ignores updates.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Record one observation. Lock-free and allocation-free.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let Some(h) = &self.0 else { return };
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&h.sum_bits, v);
+        atomic_f64_fold(&h.min_bits, v, f64::min);
+        atomic_f64_fold(&h.max_bits, v, f64::max);
+    }
+
+    /// Point-in-time copy of the distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let Some(h) = &self.0 else {
+            return HistogramSnapshot::default();
+        };
+        let count = h.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(h.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(h.max_bits.load(Ordering::Relaxed))
+            },
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .filter_map(|i| {
+                    let n = h.buckets[i].load(Ordering::Relaxed);
+                    (n > 0).then_some(BucketCount {
+                        lo: bucket_lower_bound(i),
+                        hi: bucket_upper_bound(i),
+                        count: n,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketCount {
+    /// Inclusive lower bound (µs).
+    pub lo: f64,
+    /// Exclusive upper bound (µs; infinity for the last bucket).
+    pub hi: f64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Frozen histogram contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Name-keyed metric registry. Lookup takes a mutex; handles do not.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCore>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<CounterCore> {
+        let mut map = self.counters.lock().expect("counter registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<GaugeCore> {
+        let mut map = self.gauges.lock().expect("gauge registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<HistogramCore> {
+        let mut map = self.histograms.lock().expect("histogram registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Freeze every metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.bits.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), Histogram(Some(v.clone())).snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, distribution)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::default();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.record(1.0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name() {
+        let r = Registry::default();
+        Counter(Some(r.counter("x"))).add(2);
+        Counter(Some(r.counter("x"))).add(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("x".to_string(), 5)]);
+    }
+
+    #[test]
+    fn bucket_index_boundaries_are_exact() {
+        // Exact powers of two start their own bucket.
+        for e in -31..31 {
+            let v = (e as f64).exp2();
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower_bound(i), v, "2^{e} must open its bucket");
+            assert!(bucket_index(v * 0.999) < i || i == 0);
+        }
+        // Degenerate inputs land in bucket 0.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        // Huge values saturate into the last bucket.
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn histogram_counts_sum_min_max() {
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("t")));
+        for v in [0.5, 1.0, 1.5, 2.0, 1024.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 1029.0).abs() < 1e-9);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 1024.0);
+        assert!((s.mean() - 1029.0 / 5.0).abs() < 1e-12);
+        // 1.0 and 1.5 share the [1,2) bucket.
+        let b1 = s.buckets.iter().find(|b| b.lo == 1.0).unwrap();
+        assert_eq!((b1.count, b1.hi), (2, 2.0));
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 5);
+    }
+}

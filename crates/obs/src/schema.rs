@@ -1,0 +1,222 @@
+//! The JSONL trace event contract, and a validator over it.
+//!
+//! Every line emitted by [`crate::export::to_jsonl`] is a complete
+//! JSON object with a `type` discriminator:
+//!
+//! | `type`      | required fields                                                                  |
+//! |-------------|----------------------------------------------------------------------------------|
+//! | `meta`      | `version` (uint), `clock` (string)                                               |
+//! | `span`      | `id` (uint), `parent` (uint or null), `name`, `cat`, `track` (strings), `timeline` (`"host"`/`"sim"`), `start_us`, `end_us` (numbers, `end_us >= start_us`), `attrs` (object) |
+//! | `counter`   | `name` (string), `value` (uint)                                                  |
+//! | `gauge`     | `name` (string), `value` (number)                                                |
+//! | `histogram` | `name` (string), `count` (uint), `sum`, `min`, `max` (numbers), `buckets` (array of `{lo, hi, count}`; `hi` null for the open-ended top bucket) |
+//!
+//! The first line must be the `meta` line. [`validate_trace`] enforces
+//! all of this; the `obs-check` binary wraps it for CI.
+
+use serde_json::Value;
+
+fn require<'a>(obj: &'a Value, field: &str, line: usize) -> Result<&'a Value, String> {
+    obj.get(field)
+        .ok_or_else(|| format!("line {line}: missing field `{field}`"))
+}
+
+fn require_str<'a>(obj: &'a Value, field: &str, line: usize) -> Result<&'a str, String> {
+    require(obj, field, line)?
+        .as_str()
+        .ok_or_else(|| format!("line {line}: `{field}` must be a string"))
+}
+
+fn require_uint(obj: &Value, field: &str, line: usize) -> Result<u64, String> {
+    require(obj, field, line)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line}: `{field}` must be a non-negative integer"))
+}
+
+fn require_num(obj: &Value, field: &str, line: usize) -> Result<f64, String> {
+    require(obj, field, line)?
+        .as_f64()
+        .ok_or_else(|| format!("line {line}: `{field}` must be a number"))
+}
+
+/// Validate one JSONL trace line (1-based `line` for error messages).
+pub fn validate_line(text: &str, line: usize) -> Result<(), String> {
+    let v: Value = serde_json::from_str(text)
+        .map_err(|e| format!("line {line}: not valid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err(format!("line {line}: top level must be a JSON object"));
+    }
+    match require_str(&v, "type", line)? {
+        "meta" => {
+            require_uint(&v, "version", line)?;
+            require_str(&v, "clock", line)?;
+        }
+        "span" => {
+            require_uint(&v, "id", line)?;
+            let parent = require(&v, "parent", line)?;
+            if !parent.is_null() && parent.as_u64().is_none() {
+                return Err(format!("line {line}: `parent` must be null or an id"));
+            }
+            require_str(&v, "name", line)?;
+            require_str(&v, "cat", line)?;
+            require_str(&v, "track", line)?;
+            let timeline = require_str(&v, "timeline", line)?;
+            if timeline != "host" && timeline != "sim" {
+                return Err(format!(
+                    "line {line}: `timeline` must be \"host\" or \"sim\", got {timeline:?}"
+                ));
+            }
+            let start = require_num(&v, "start_us", line)?;
+            let end = require_num(&v, "end_us", line)?;
+            if end < start {
+                return Err(format!(
+                    "line {line}: end_us ({end}) precedes start_us ({start})"
+                ));
+            }
+            if require(&v, "attrs", line)?.as_object().is_none() {
+                return Err(format!("line {line}: `attrs` must be an object"));
+            }
+        }
+        "counter" => {
+            require_str(&v, "name", line)?;
+            require_uint(&v, "value", line)?;
+        }
+        "gauge" => {
+            require_str(&v, "name", line)?;
+            require_num(&v, "value", line)?;
+        }
+        "histogram" => {
+            require_str(&v, "name", line)?;
+            require_uint(&v, "count", line)?;
+            require_num(&v, "sum", line)?;
+            require_num(&v, "min", line)?;
+            require_num(&v, "max", line)?;
+            let buckets = require(&v, "buckets", line)?
+                .as_array()
+                .ok_or_else(|| format!("line {line}: `buckets` must be an array"))?;
+            let mut total = 0u64;
+            for b in buckets {
+                require_num(b, "lo", line)?;
+                let hi = require(b, "hi", line)?;
+                if !hi.is_null() && hi.as_f64().is_none() {
+                    return Err(format!("line {line}: bucket `hi` must be null or a number"));
+                }
+                total += require_uint(b, "count", line)?;
+            }
+            let count = require_uint(&v, "count", line)?;
+            if total != count {
+                return Err(format!(
+                    "line {line}: bucket counts sum to {total} but `count` is {count}"
+                ));
+            }
+        }
+        other => {
+            return Err(format!("line {line}: unknown record type {other:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole JSONL trace document. Returns the number of
+/// validated lines; enforces that the first line is `meta` and that
+/// span parent references resolve to earlier-declared span ids.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let mut seen_ids = std::collections::BTreeSet::new();
+    let mut n = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            return Err(format!("line {line}: blank line in JSONL trace"));
+        }
+        validate_line(raw, line)?;
+        let v: Value = serde_json::from_str(raw).expect("validated line parses");
+        let ty = v.get("type").and_then(Value::as_str).unwrap_or_default();
+        if idx == 0 && ty != "meta" {
+            return Err(format!("line 1: first record must be `meta`, got {ty:?}"));
+        }
+        if idx > 0 && ty == "meta" {
+            return Err(format!("line {line}: duplicate `meta` record"));
+        }
+        if ty == "span" {
+            let id = v.get("id").and_then(Value::as_u64).expect("validated id");
+            if let Some(parent) = v.get("parent").and_then(Value::as_u64) {
+                if !seen_ids.contains(&parent) {
+                    return Err(format!(
+                        "line {line}: span {id} references unknown parent {parent}"
+                    ));
+                }
+            }
+            if !seen_ids.insert(id) {
+                return Err(format!("line {line}: duplicate span id {id}"));
+            }
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("empty trace: expected at least a `meta` line".to_string());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::export::to_jsonl;
+    use crate::recorder::Obs;
+
+    #[test]
+    fn exporter_output_validates() {
+        let clock = ManualClock::new();
+        let obs = Obs::with_clock(Box::new(clock.clone()));
+        {
+            let _a = obs.span("learner", "iteration");
+            clock.set_us(5.0);
+            let _b = obs.span("learner", "fit");
+            clock.set_us(9.0);
+        }
+        obs.span_at("collect", "slot", "nodes 0-1", 0.0, 3.0, Vec::new());
+        obs.incr_counter("c", 1);
+        obs.record_hist("h", 2.0);
+        let text = to_jsonl(&obs.snapshot());
+        let n = validate_trace(&text).unwrap();
+        assert_eq!(n, text.lines().count());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(validate_line("not json", 1).unwrap_err().contains("line 1"));
+        assert!(validate_line("[1,2]", 3).unwrap_err().contains("object"));
+        assert!(validate_line(r#"{"type":"mystery"}"#, 1)
+            .unwrap_err()
+            .contains("unknown record type"));
+        assert!(validate_line(r#"{"type":"counter","name":"c","value":-1}"#, 1)
+            .unwrap_err()
+            .contains("non-negative"));
+        let bad_span = r#"{"type":"span","id":1,"parent":null,"name":"x","cat":"c","track":"t","timeline":"host","start_us":5.0,"end_us":1.0,"attrs":{}}"#;
+        assert!(validate_line(bad_span, 1).unwrap_err().contains("precedes"));
+        let bad_timeline = r#"{"type":"span","id":1,"parent":null,"name":"x","cat":"c","track":"t","timeline":"dream","start_us":0.0,"end_us":1.0,"attrs":{}}"#;
+        assert!(validate_line(bad_timeline, 1)
+            .unwrap_err()
+            .contains("timeline"));
+    }
+
+    #[test]
+    fn trace_level_checks() {
+        assert!(validate_trace("").unwrap_err().contains("empty trace"));
+        let no_meta = r#"{"type":"counter","name":"c","value":1}"#;
+        assert!(validate_trace(no_meta).unwrap_err().contains("meta"));
+        let orphan = concat!(
+            r#"{"type":"meta","version":1,"clock":"manual"}"#,
+            "\n",
+            r#"{"type":"span","id":2,"parent":7,"name":"x","cat":"c","track":"t","timeline":"host","start_us":0.0,"end_us":1.0,"attrs":{}}"#,
+        );
+        assert!(validate_trace(orphan).unwrap_err().contains("unknown parent"));
+        let bad_hist = concat!(
+            r#"{"type":"meta","version":1,"clock":"manual"}"#,
+            "\n",
+            r#"{"type":"histogram","name":"h","count":3,"sum":1.0,"min":0.1,"max":0.9,"buckets":[{"lo":0.0,"hi":1.0,"count":2}]}"#,
+        );
+        assert!(validate_trace(bad_hist).unwrap_err().contains("sum to 2"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Hierarchical span records.
+//!
+//! A span is a named, categorized time interval with attributes. Spans
+//! come from two sources:
+//!
+//! * **Guarded spans** ([`SpanGuard`], via `Obs::span`) are stamped by
+//!   the recorder's clock and nest per thread: the innermost open span
+//!   on the current thread becomes the parent, and dropping the guard
+//!   closes the interval. These live on the [`Timeline::Host`]
+//!   timeline.
+//! * **Explicit spans** (`Obs::span_at`) carry caller-provided start
+//!   and end stamps plus an explicit lane name — how the parallel
+//!   collector emits one lane per allocation node range in *simulated*
+//!   time ([`Timeline::Sim`]).
+
+/// Which clock a span's stamps come from. Exporters keep the two
+/// timelines apart (separate `pid`s in Chrome traces) because host
+/// microseconds and simulated cluster microseconds are not comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timeline {
+    /// Recorder-clock time (real wall time by default).
+    Host,
+    /// Caller-provided simulated time.
+    Sim,
+}
+
+impl Timeline {
+    /// Stable string form used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Timeline::Host => "host",
+            Timeline::Sim => "sim",
+        }
+    }
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the recorder.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"iteration"`).
+    pub name: String,
+    /// Instrumented layer (`"learner"`, `"collect"`, `"netsim"`,
+    /// `"cli"`).
+    pub cat: String,
+    /// Display lane: the recording thread's label for guarded spans, a
+    /// caller-chosen lane (e.g. `"nodes 0-3"`) for explicit spans.
+    pub track: String,
+    /// Timeline the stamps belong to.
+    pub timeline: Timeline,
+    /// Start stamp (µs).
+    pub start_us: f64,
+    /// End stamp (µs, `>= start_us`).
+    pub end_us: f64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Span duration (µs).
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Open guarded span; closes (and records) on drop.
+///
+/// A disabled recorder hands out inert guards, so instrumented code
+/// does not branch on enablement itself.
+#[must_use = "a span guard records on drop; binding it to _ closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    pub(crate) obs: &'a crate::recorder::Obs,
+    pub(crate) open: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+pub(crate) struct OpenSpan {
+    pub(crate) id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) name: &'static str,
+    pub(crate) cat: &'static str,
+    pub(crate) start_us: f64,
+    pub(crate) attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an attribute (builder form).
+    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Attach an attribute to the open span (e.g. a value only known
+    /// mid-span).
+    pub fn set_attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(open) = &mut self.open {
+            open.attrs.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.obs.close_span(open);
+        }
+    }
+}

@@ -3,11 +3,27 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace-out trace.jsonl
 //! ```
+//!
+//! With `--trace-out PATH` the run is traced end to end and the
+//! structured JSONL trace (validated by the `obs-check` binary) is
+//! written to PATH.
 
+use acclaim::obs::export;
 use acclaim::prelude::*;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let obs = if trace_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
     // The job: 16 nodes of a Bebop-like cluster, with the placement
     // latency the scheduler happened to give us.
     let machine = Cluster::bebop_like();
@@ -21,7 +37,8 @@ fn main() {
         bench: MicrobenchConfig::default(),
         noise: NoiseModel::mild(),
         seed: 42,
-    });
+    })
+    .with_obs(&obs);
 
     // The feature space ACCLAiM will learn: P2 grid bounded by the job.
     let space = FeatureSpace::new(
@@ -34,8 +51,13 @@ fn main() {
     // application predominantly uses).
     println!("training ACCLAiM for MPI_Bcast ...");
     let acclaim = Acclaim::new(AcclaimConfig::new(space.clone()));
-    let tuning = acclaim.tune(&db, &[Collective::Bcast]);
+    let tuning = acclaim.tune_with_obs(&db, &[Collective::Bcast], &obs);
     println!("{}", tuning.summary());
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, export::to_jsonl(&obs.snapshot())).expect("writing trace");
+        println!("trace written to {path}\n");
+    }
 
     // The deliverable: an MPICH-style JSON tuning file.
     let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json()).unwrap();

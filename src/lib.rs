@@ -44,6 +44,7 @@ pub use acclaim_core as core;
 pub use acclaim_dataset as dataset;
 pub use acclaim_ml as ml;
 pub use acclaim_netsim as netsim;
+pub use acclaim_obs as obs;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
@@ -66,4 +67,5 @@ pub mod prelude {
     pub use acclaim_netsim::{
         Allocation, Cluster, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
     };
+    pub use acclaim_obs::{Diag, Obs};
 }
