@@ -4,15 +4,50 @@
 use crate::args::Args;
 use crate::context::{cluster_from, collectives_from, database_from, maybe_save_db, space_from};
 use crate::trace::TraceOutputs;
-use acclaim_core::{Acclaim, AcclaimConfig, CollectionStrategy, CriterionConfig};
-use acclaim_obs::Diag;
+use acclaim_core::{
+    Acclaim, AcclaimConfig, CollectionPolicy, CollectionStrategy, CriterionConfig, RobustAgg,
+};
+use acclaim_obs::{Diag, Obs};
+
+/// Parse the fault-tolerant collection options into a policy.
+fn collection_from(args: &Args) -> Result<CollectionPolicy, String> {
+    let mut policy = match args.get("faults") {
+        None | Some("none") => CollectionPolicy::default(),
+        Some("production") => CollectionPolicy::production(),
+        Some(other) => {
+            return Err(format!(
+                "option --faults: unknown model '{other}' (none | production)"
+            ))
+        }
+    };
+    if let Some(n) = args.get_num::<u32>("max-retries")? {
+        policy.max_retries = n;
+    }
+    if let Some(f) = args.get_num::<f64>("bench-timeout-factor")? {
+        if f < 1.0 {
+            return Err("option --bench-timeout-factor: must be >= 1".into());
+        }
+        policy.bench_timeout_factor = f;
+    }
+    if let Some(n) = args.get_num::<u32>("repeats")? {
+        if n == 0 {
+            return Err("option --repeats: must be >= 1".into());
+        }
+        policy.repeats = n;
+    }
+    if let Some(spec) = args.get("robust-agg") {
+        policy.agg = RobustAgg::parse(spec).ok_or_else(|| {
+            format!("option --robust-agg: unknown aggregation '{spec}' (median | mean)")
+        })?;
+    }
+    Ok(policy)
+}
 
 /// Run the subcommand; returns the report printed to stdout.
 pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     let (obs, outputs) = TraceOutputs::from_args(args)?;
     let cluster = cluster_from(args)?;
     let space = space_from(args, &cluster)?;
-    let db = database_from(args, cluster)?.with_obs(&obs);
     let collectives = collectives_from(args)?;
     let out_path = args.get_or("out", "tuning.json").to_string();
 
@@ -27,6 +62,18 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     if let Some(iters) = args.get_num::<usize>("max-iterations")? {
         config.learner.max_iterations = iters;
     }
+    config.learner.collection = collection_from(args)?;
+    let policy = config.learner.collection.clone();
+
+    // Fault handling is counted through acclaim-obs, so fault-injected
+    // runs force the recorder on even without a trace output — the
+    // report's fault-counter line is sourced from the metrics snapshot.
+    let obs = if policy.is_enabled() && !obs.is_enabled() {
+        Obs::enabled()
+    } else {
+        obs
+    };
+    let db = database_from(args, cluster)?.with_obs(&obs);
 
     diag.progress(&format!(
         "training {} collective model(s)",
@@ -44,6 +91,24 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
 
     let mut report = String::new();
     report.push_str(&tuning.summary());
+    if policy.is_enabled() {
+        let snap = obs.snapshot();
+        let counters: Vec<String> = snap
+            .metrics
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("collect."))
+            .map(|(name, value)| format!("{}={value}", name.trim_start_matches("collect.")))
+            .collect();
+        report.push_str(&format!(
+            "fault counters (obs): {}\n",
+            if counters.is_empty() {
+                "none recorded".to_string()
+            } else {
+                counters.join(" ")
+            }
+        ));
+    }
     report.push_str(&format!("tuning file written to {out_path}\n"));
     for line in outputs.write(&obs)? {
         report.push_str(&line);
@@ -99,6 +164,41 @@ mod tests {
             assert!(ctx.is_complete() && ctx.is_pruned());
         }
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn tune_with_production_faults_reports_obs_counters() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-faults-test.json");
+        let _ = std::fs::remove_file(&out);
+        let args = tune_args(&["--faults", "production"], &out);
+        let report = run(&args, &Diag::new(true)).unwrap();
+        // The counter line is sourced from the acclaim-obs snapshot and
+        // must be present (the recorder is forced on by --faults).
+        assert!(
+            report.contains("fault counters (obs):"),
+            "missing fault counter line:\n{report}"
+        );
+        assert!(report.contains("retries="), "missing retries:\n{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        let parsed =
+            TuningFile::from_mpich_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed.collectives.len(), 1);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn tune_rejects_bad_fault_options() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-badfaults-test.json");
+        for bad in [
+            &["--faults", "chaos"][..],
+            &["--robust-agg", "mode"][..],
+            &["--repeats", "0"][..],
+            &["--bench-timeout-factor", "0.5"][..],
+        ] {
+            let args = tune_args(bad, &out);
+            let e = run(&args, &Diag::new(true)).unwrap_err();
+            assert!(e.contains("option --"), "bad error for {bad:?}: {e}");
+        }
     }
 
     #[test]

@@ -38,6 +38,8 @@ commands:
               --collectives a,b,c    --out FILE [--db FILE] [--seed N]
               [--budget POINTS] [--max-iterations N] [--sequential]
               [--latency-factor F]
+              [--faults none|production] [--max-retries N] [--repeats N]
+              [--bench-timeout-factor F] [--robust-agg median|mean]
   selections  print the selections of a tuning file (or the defaults)
               [--tuning FILE] --collective NAME --nodes N --ppn N
               [--min-msg B --max-msg B]

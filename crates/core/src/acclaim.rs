@@ -8,6 +8,7 @@
 //! selections. The training time is charged against the job, so the
 //! report tracks it explicitly (Fig. 14/15).
 
+use crate::collector::FaultStats;
 use crate::learner::{ActiveLearner, LearnerConfig, TrainingOutcome};
 use crate::rules::{generate_rules, TunedSelector, TuningFile};
 use acclaim_collectives::{mpich_default, Collective};
@@ -79,6 +80,16 @@ impl JobTuning {
         TunedSelector::new(self.tuning_file.clone())
     }
 
+    /// Fault-handling counters merged across all collectives' training
+    /// runs (all zero when faults were disabled).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for (_, o) in &self.reports {
+            total.merge(&o.faults);
+        }
+        total
+    }
+
     /// Human-readable per-collective summary (minutes, points, waves).
     pub fn summary(&self) -> String {
         use std::fmt::Write;
@@ -110,6 +121,22 @@ impl JobTuning {
             self.test_wall_us() / 60e6,
             self.model_update_wall_us() / 1e6,
         );
+        // Fault summary, only when something fault-related happened.
+        let f = self.fault_stats();
+        if !f.is_quiet() {
+            let _ = writeln!(
+                s,
+                "faults: {} retries, {} timeouts, {} failed runs, {} outliers rejected",
+                f.retries, f.timeouts, f.failures, f.outliers_rejected,
+            );
+            if f.node_evictions + f.points_abandoned + f.candidates_dropped > 0 {
+                let _ = writeln!(
+                    s,
+                    "degraded: {} nodes evicted, {} points abandoned, {} candidates dropped",
+                    f.node_evictions, f.points_abandoned, f.candidates_dropped,
+                );
+            }
+        }
         s
     }
 }
@@ -217,6 +244,7 @@ pub fn application_impact(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collector::CollectionPolicy;
     use crate::convergence::VarianceConvergence;
     use crate::learner::{CollectionStrategy, CriterionConfig, SelectionPolicy};
     use acclaim_dataset::DatasetConfig;
@@ -239,6 +267,7 @@ mod tests {
                 max_iterations: 40,
                 seed: 5,
                 incremental: true,
+                collection: CollectionPolicy::default(),
             },
             space: FeatureSpace::tiny(),
         }

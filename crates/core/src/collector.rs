@@ -15,7 +15,8 @@
 //! (layer 2). Only the fat layer-3 links may see incidental sharing.
 
 use crate::selection::Candidate;
-use acclaim_netsim::{Allocation, Topology};
+use acclaim_netsim::{Allocation, BenchFault, FaultModel, Topology};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One benchmark placed within a wave.
@@ -61,10 +62,17 @@ pub fn schedule_wave(
 
     for (idx, cand) in ordered.iter().enumerate() {
         let n = cand.point.nodes;
-        assert!(
-            n <= total,
-            "candidate needs {n} nodes but the job holds {total}"
-        );
+        if n > total {
+            // Only the *first* candidate being oversized is a hard error
+            // (the feature space must be bounded by the job size); a
+            // mid-list oversized candidate is just a misfit that ends
+            // the wave, like any other.
+            assert!(
+                idx > 0,
+                "candidate needs {n} nodes but the job holds {total}"
+            );
+            break;
+        }
         if next_free + n > total {
             break; // paper step 4: first misfit ends the wave
         }
@@ -105,7 +113,14 @@ impl CollectionStats {
     /// greedy choices can occasionally lose, see Fig. 13's discussion).
     pub fn speedup(&self) -> f64 {
         if self.wall_us == 0.0 {
-            1.0
+            // A degenerate run with nonzero sequential cost but zero
+            // parallel cost is infinitely sped up, not neutral; only
+            // the empty run (both zero) reports 1.0.
+            if self.sequential_wall_us == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.sequential_wall_us / self.wall_us
         }
@@ -122,12 +137,310 @@ impl CollectionStats {
 
     /// Fold one wave's point costs (µs) into the statistics.
     pub fn add_wave(&mut self, costs: &[f64]) {
+        self.add_wave_counting(costs, costs.len());
+    }
+
+    /// [`CollectionStats::add_wave`] for fault-injected collection,
+    /// where some slots burn wall time without yielding a point:
+    /// `collected_points` is the number of slots that actually produced
+    /// a training sample (≤ `costs.len()`).
+    pub fn add_wave_counting(&mut self, costs: &[f64], collected_points: usize) {
         assert!(!costs.is_empty(), "waves cannot be empty");
+        debug_assert!(collected_points <= costs.len());
         self.wall_us += costs.iter().copied().fold(f64::MIN, f64::max);
         self.sequential_wall_us += costs.iter().sum::<f64>();
         self.waves += 1;
-        self.points += costs.len();
+        self.points += collected_points;
     }
+}
+
+/// How an attempt's repeated measurements are folded into one training
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustAgg {
+    /// Plain mean of the valid measurements (fault-sensitive: one
+    /// under-timeout straggler contaminates the value).
+    Mean,
+    /// Lower median with MAD outlier rejection, then the mean of the
+    /// survivors. The lower median is deliberate: stragglers only
+    /// inflate measurements, so ties break toward the uncontaminated
+    /// side. With a majority of clean repeats this recovers the clean
+    /// value exactly.
+    Median,
+}
+
+impl RobustAgg {
+    /// Parse a CLI spelling (`median` | `mean`).
+    pub fn parse(s: &str) -> Option<RobustAgg> {
+        match s {
+            "mean" => Some(RobustAgg::Mean),
+            "median" => Some(RobustAgg::Median),
+            _ => None,
+        }
+    }
+}
+
+/// Outliers are rejected beyond this many (floored) MADs from the
+/// median.
+const MAD_REJECTION_K: f64 = 3.0;
+
+/// Aggregate one attempt's valid measurements. Returns the value and
+/// the number of rejected outliers.
+pub fn robust_aggregate(values: &[f64], agg: RobustAgg) -> (f64, u32) {
+    assert!(!values.is_empty(), "cannot aggregate zero measurements");
+    let mean = |vs: &[f64]| vs.iter().sum::<f64>() / vs.len() as f64;
+    match agg {
+        RobustAgg::Mean => (mean(values), 0),
+        RobustAgg::Median => {
+            let lower_median = |vs: &mut Vec<f64>| {
+                vs.sort_by(f64::total_cmp);
+                vs[(vs.len() - 1) / 2]
+            };
+            let med = lower_median(&mut values.to_vec());
+            let mut deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+            let mad = lower_median(&mut deviations);
+            // Repeated lookups of a memoized simulator sample are
+            // identical, collapsing the MAD to zero; a relative floor
+            // keeps the rejection band meaningful in that degenerate
+            // case (and harmless in the realistic spread case).
+            let scale = mad.max(1e-9 * med.abs()).max(f64::MIN_POSITIVE);
+            let kept: Vec<f64> = values
+                .iter()
+                .copied()
+                .filter(|v| (v - med).abs() <= MAD_REJECTION_K * scale)
+                .collect();
+            ((mean(&kept)), (values.len() - kept.len()) as u32)
+        }
+    }
+}
+
+/// Policy for fault-tolerant collection, threaded through
+/// [`crate::LearnerConfig`]. With `faults` disabled the collector takes
+/// the plain path and every other knob is inert, so the default policy
+/// is behaviorally identical to pre-fault-model builds (the
+/// `fault_golden` integration test proves bit-identity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionPolicy {
+    /// Fault injection model (disabled by default).
+    pub faults: FaultModel,
+    /// Re-attempts allowed per point after a failed attempt; a point
+    /// exceeding this is abandoned (never collected).
+    pub max_retries: u32,
+    /// Per-benchmark timeout as a multiple of the benchmark's predicted
+    /// fault-free wall cost (the wave's predicted slot cost). A run
+    /// exceeding it is killed at the timeout and its measurement
+    /// discarded.
+    pub bench_timeout_factor: f64,
+    /// Back-to-back measurements per attempt; a majority must survive
+    /// the timeout for the attempt to succeed (the paper measures each
+    /// point multiple times on the shared machine).
+    pub repeats: u32,
+    /// Cap on the exponential retry backoff, in waves.
+    pub backoff_cap_waves: u32,
+    /// Aggregation across an attempt's valid measurements.
+    pub agg: RobustAgg,
+}
+
+impl Default for CollectionPolicy {
+    fn default() -> Self {
+        CollectionPolicy {
+            faults: FaultModel::none(),
+            max_retries: 3,
+            bench_timeout_factor: 3.0,
+            repeats: 1,
+            backoff_cap_waves: 8,
+            agg: RobustAgg::Median,
+        }
+    }
+}
+
+impl CollectionPolicy {
+    /// Production-grade resilience: [`FaultModel::production`] injection,
+    /// triple measurements with median+MAD aggregation, 3x timeouts, and
+    /// up to 4 retries with capped exponential backoff.
+    pub fn production() -> Self {
+        CollectionPolicy {
+            faults: FaultModel::production(),
+            max_retries: 4,
+            bench_timeout_factor: 3.0,
+            repeats: 3,
+            backoff_cap_waves: 8,
+            agg: RobustAgg::Median,
+        }
+    }
+
+    /// True when the fault-tolerant path is active.
+    pub fn is_enabled(&self) -> bool {
+        self.faults.is_enabled()
+    }
+
+    /// Waves to wait before re-attempting a point that has failed
+    /// `attempts` times: capped exponential backoff (1, 2, 4, …).
+    pub fn backoff_waves(&self, attempts: u32) -> u64 {
+        let exp = attempts.saturating_sub(1).min(63);
+        (1u64 << exp).min(self.backoff_cap_waves.max(1) as u64)
+    }
+}
+
+/// Fraction of the predicted wall cost a failed (crashed) run burns
+/// before the failure is detected.
+const FAILED_RUN_COST_FRACTION: f64 = 0.5;
+
+/// The result of executing one collection slot (one attempt) under a
+/// fault policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptOutcome {
+    /// Wall cost the slot charged to the wave (µs), including timed-out
+    /// and failed repeats.
+    pub wall_us: f64,
+    /// The aggregated measurement, if a majority of repeats survived.
+    pub value_us: Option<f64>,
+    /// Repeats that produced a (possibly contaminated) measurement.
+    pub valid: u32,
+    /// Repeats killed at the timeout.
+    pub timeouts: u32,
+    /// Repeats that failed outright.
+    pub failures: u32,
+    /// Valid measurements rejected by MAD screening.
+    pub outliers_rejected: u32,
+}
+
+/// Execute one attempt: `repeats` back-to-back measurements of a point
+/// whose fault-free measurement is (`clean_mean_us`, `clean_wall_us`),
+/// under `policy`'s fault model, driven by a deterministic per-
+/// (point, attempt) RNG. The attempt succeeds when a strict majority of
+/// repeats yields a measurement; the value is then the policy's robust
+/// aggregate of those measurements.
+pub fn run_attempt<R: Rng + ?Sized>(
+    clean_mean_us: f64,
+    clean_wall_us: f64,
+    policy: &CollectionPolicy,
+    rng: &mut R,
+) -> AttemptOutcome {
+    let repeats = policy.repeats.max(1);
+    let timeout_us = policy.bench_timeout_factor.max(1.0) * clean_wall_us;
+    let mut out = AttemptOutcome {
+        wall_us: 0.0,
+        value_us: None,
+        valid: 0,
+        timeouts: 0,
+        failures: 0,
+        outliers_rejected: 0,
+    };
+    let mut values = Vec::with_capacity(repeats as usize);
+    for _ in 0..repeats {
+        match policy.faults.draw(rng) {
+            BenchFault::Fail => {
+                out.wall_us += clean_wall_us * FAILED_RUN_COST_FRACTION;
+                out.failures += 1;
+            }
+            BenchFault::Straggle(factor) => {
+                let wall = clean_wall_us * factor;
+                if wall > timeout_us {
+                    out.wall_us += timeout_us;
+                    out.timeouts += 1;
+                } else {
+                    out.wall_us += wall;
+                    values.push(clean_mean_us * factor);
+                }
+            }
+            BenchFault::None => {
+                out.wall_us += clean_wall_us;
+                values.push(clean_mean_us);
+            }
+        }
+    }
+    out.valid = values.len() as u32;
+    if out.valid * 2 > repeats {
+        let (value, rejected) = robust_aggregate(&values, policy.agg);
+        out.value_us = Some(value);
+        out.outliers_rejected = rejected;
+    }
+    out
+}
+
+/// Aggregate fault-handling counters for one training run. All zero
+/// when faults are disabled; each field is mirrored into an
+/// `acclaim-obs` counter (`collect.*`) during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Points re-queued after a failed attempt.
+    pub retries: u64,
+    /// Individual benchmark runs killed at the timeout.
+    pub timeouts: u64,
+    /// Individual benchmark runs that failed outright.
+    pub failures: u64,
+    /// Valid measurements rejected by MAD screening.
+    pub outliers_rejected: u64,
+    /// Nodes evicted from the allocation after hard failures.
+    pub node_evictions: u64,
+    /// Points abandoned after exhausting their retries.
+    pub points_abandoned: u64,
+    /// Candidates dropped because the degraded allocation can no longer
+    /// host them.
+    pub candidates_dropped: u64,
+}
+
+impl FaultStats {
+    /// True when nothing fault-related happened.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Fold another run's counters in (per-collective → job totals).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.failures += other.failures;
+        self.outliers_rejected += other.outliers_rejected;
+        self.node_evictions += other.node_evictions;
+        self.points_abandoned += other.points_abandoned;
+        self.candidates_dropped += other.candidates_dropped;
+    }
+}
+
+/// One entry of the fault event log kept in
+/// [`crate::TrainingOutcome`] — the retry schedule and allocation
+/// history, recorded so that runs can be compared event-for-event
+/// (the determinism tests) and summarized for the user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A point's attempt failed; it re-enters collection at
+    /// `eligible_wave`.
+    Retry {
+        /// Wave in which the attempt ran.
+        wave: u64,
+        /// The point (pool identity).
+        candidate: Candidate,
+        /// Attempts made so far, including this one.
+        attempt: u32,
+        /// First wave the point may be rescheduled in.
+        eligible_wave: u64,
+    },
+    /// A point exhausted its retries and leaves the pool uncollected.
+    Abandoned {
+        /// Wave of the final failed attempt.
+        wave: u64,
+        /// The abandoned point.
+        candidate: Candidate,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// A node hard-failed and was evicted from the allocation.
+    NodeEvicted {
+        /// Wave before which the eviction took effect.
+        wave: u64,
+        /// Global node id.
+        node: u32,
+    },
+    /// Candidates left the pool because the degraded allocation can no
+    /// longer host them.
+    CandidatesDropped {
+        /// Wave before which the drop happened.
+        wave: u64,
+        /// Number of candidates dropped.
+        count: u32,
+    },
 }
 
 #[cfg(test)]
@@ -135,6 +448,7 @@ mod tests {
     use super::*;
     use acclaim_collectives::Algorithm;
     use acclaim_dataset::Point;
+    use rand::{rngs::StdRng, SeedableRng};
 
     fn cand(nodes: u32) -> Candidate {
         Candidate {
@@ -226,6 +540,17 @@ mod tests {
     }
 
     #[test]
+    fn mid_list_oversized_candidate_ends_the_wave_without_panicking() {
+        let t = topo();
+        let alloc = Allocation::contiguous(&t, 16);
+        // Regression: the assert used to fire on ANY oversized candidate,
+        // so [cand(4), cand(20)] panicked instead of ending the wave.
+        let w = schedule_wave(&t, &alloc, &[cand(4), cand(20), cand(4)]);
+        assert_eq!(w.parallelism(), 1, "wave ends at the oversized misfit");
+        assert_eq!(w.placements[0].node_count, 4);
+    }
+
+    #[test]
     fn empty_candidates_empty_wave() {
         let t = topo();
         let alloc = Allocation::contiguous(&t, 8);
@@ -243,5 +568,145 @@ mod tests {
         assert_eq!(s.points, 3);
         assert!((s.speedup() - 20.0 / 14.0).abs() < 1e-12);
         assert!((s.average_parallelism() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_speedups_are_reported_honestly() {
+        // Regression: zero parallel wall with nonzero sequential wall
+        // used to report a silent 1.0.
+        let degenerate = CollectionStats {
+            wall_us: 0.0,
+            sequential_wall_us: 5.0,
+            waves: 1,
+            points: 1,
+        };
+        assert_eq!(degenerate.speedup(), f64::INFINITY);
+        let empty = CollectionStats::default();
+        assert_eq!(empty.speedup(), 1.0);
+    }
+
+    #[test]
+    fn add_wave_counting_separates_cost_from_points() {
+        let mut s = CollectionStats::default();
+        s.add_wave_counting(&[10.0, 6.0, 3.0], 2); // one slot failed
+        assert_eq!(s.points, 2);
+        assert_eq!(s.wall_us, 10.0);
+        assert_eq!(s.sequential_wall_us, 19.0);
+    }
+
+    #[test]
+    fn median_aggregation_rejects_straggler_contamination() {
+        // Two clean repeats and one under-timeout straggler: the median
+        // path recovers the clean value exactly; the mean path does not.
+        let values = [100.0, 100.0, 250.0];
+        let (med, rejected) = robust_aggregate(&values, RobustAgg::Median);
+        assert_eq!(med, 100.0);
+        assert_eq!(rejected, 1);
+        let (mean, r0) = robust_aggregate(&values, RobustAgg::Mean);
+        assert!((mean - 150.0).abs() < 1e-9);
+        assert_eq!(r0, 0);
+    }
+
+    #[test]
+    fn median_aggregation_keeps_identical_values() {
+        let (v, rejected) = robust_aggregate(&[42.0, 42.0, 42.0], RobustAgg::Median);
+        assert_eq!(v, 42.0);
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn clean_attempt_returns_the_clean_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = CollectionPolicy::default(); // faults disabled
+        let out = run_attempt(100.0, 1_000.0, &policy, &mut rng);
+        assert_eq!(out.value_us, Some(100.0));
+        assert_eq!(out.wall_us, 1_000.0);
+        assert_eq!((out.timeouts, out.failures), (0, 0));
+    }
+
+    #[test]
+    fn always_failing_attempt_burns_partial_wall_and_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = CollectionPolicy {
+            faults: FaultModel {
+                failure_probability: 1.0,
+                straggler_probability: 0.0,
+                straggler_factor: 1.0,
+                node_failures: Vec::new(),
+            },
+            repeats: 3,
+            ..CollectionPolicy::default()
+        };
+        let out = run_attempt(100.0, 1_000.0, &policy, &mut rng);
+        assert_eq!(out.value_us, None);
+        assert_eq!(out.failures, 3);
+        assert!((out.wall_us - 1_500.0).abs() < 1e-9, "3 x half wall");
+    }
+
+    #[test]
+    fn extreme_stragglers_are_killed_at_the_timeout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = CollectionPolicy {
+            faults: FaultModel {
+                failure_probability: 0.0,
+                straggler_probability: 1.0,
+                // Log-uniform in [64, 64] is degenerate only at the top;
+                // force the extreme by a huge factor so every draw lands
+                // far above the 3x timeout.
+                straggler_factor: 1e9,
+                node_failures: Vec::new(),
+            },
+            repeats: 2,
+            bench_timeout_factor: 3.0,
+            ..CollectionPolicy::default()
+        };
+        let out = run_attempt(100.0, 1_000.0, &policy, &mut rng);
+        // Virtually certain: both repeats time out (P(ok) ≈ ln3/ln1e9).
+        assert!(out.timeouts >= 1);
+        assert!(out.wall_us <= 2.0 * 3.0 * 1_000.0 + 1e-9);
+        if out.timeouts == 2 {
+            assert_eq!(out.value_us, None);
+        }
+    }
+
+    #[test]
+    fn attempts_are_deterministic_per_rng_seed() {
+        let policy = CollectionPolicy::production();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| run_attempt(100.0, 1_000.0, &policy, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = CollectionPolicy {
+            backoff_cap_waves: 8,
+            ..CollectionPolicy::default()
+        };
+        assert_eq!(policy.backoff_waves(1), 1);
+        assert_eq!(policy.backoff_waves(2), 2);
+        assert_eq!(policy.backoff_waves(3), 4);
+        assert_eq!(policy.backoff_waves(4), 8);
+        assert_eq!(policy.backoff_waves(10), 8, "cap holds");
+    }
+
+    #[test]
+    fn fault_stats_merge_and_quietness() {
+        let mut a = FaultStats::default();
+        assert!(a.is_quiet());
+        let b = FaultStats {
+            retries: 2,
+            timeouts: 3,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.timeouts, 6);
+        assert!(!a.is_quiet());
     }
 }

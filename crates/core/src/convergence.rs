@@ -63,7 +63,14 @@ impl VarianceConvergence {
         if let Some(last) = self.last {
             let delta = (cumulative_variance - last).abs();
             let bound = if self.relative {
-                self.epsilon * last.abs().max(f64::MIN_POSITIVE)
+                // Symmetric scale: using `last` alone judges a series
+                // collapsing toward zero against its stale (larger)
+                // magnitude while judging the mirrored rising series
+                // against the smaller one, so the two converge at
+                // different times. max(|last|, |current|) treats both
+                // directions identically.
+                let scale = last.abs().max(cumulative_variance.abs());
+                self.epsilon * scale.max(f64::MIN_POSITIVE)
             } else {
                 self.epsilon
             };
@@ -160,6 +167,29 @@ mod tests {
             .position(|&v| c.push(v))
             .expect("series flattens");
         assert_eq!(converged_at, 6);
+    }
+
+    #[test]
+    fn relative_bound_is_symmetric_in_direction() {
+        // A geometric collapse and its time-reversed rise must make the
+        // same converged/not-converged call at every step, since each
+        // step's relative change is identical under the symmetric scale.
+        let falling = [8.0, 4.0, 2.0, 1.0, 0.5];
+        let rising: Vec<f64> = falling.iter().rev().copied().collect();
+        let verdicts = |series: &[f64]| {
+            let mut c = VarianceConvergence::relative(1, 0.6);
+            series.iter().map(|&v| c.push(v)).collect::<Vec<bool>>()
+        };
+        assert_eq!(
+            verdicts(&falling),
+            verdicts(&rising),
+            "mirrored series must converge identically"
+        );
+        // And a 50% step is judged against the larger magnitude: with
+        // epsilon 0.6 every halving/doubling step converges (delta/max
+        // = 0.5 < 0.6), which the old last-only scale denied for the
+        // rising series (delta/last = 1.0).
+        assert!(verdicts(&rising)[1..].iter().all(|&v| v));
     }
 
     #[test]

@@ -15,18 +15,24 @@
 //! cumulative-variance (Sec. IV-C), test-set slowdown (prior art), or a
 //! fixed point budget (for sweeps).
 
-use crate::collector::{schedule_wave, CollectionStats, Placement};
+use crate::collector::{
+    run_attempt, schedule_wave, AttemptOutcome, CollectionPolicy, CollectionStats, FaultEvent,
+    FaultStats, Placement,
+};
 use crate::convergence::{SlowdownThreshold, VarianceConvergence};
 use crate::model::{PerfModel, TrainingSample};
 use crate::selection::{all_candidates, Candidate, NonP2Injector, VarianceScanCache};
 use acclaim_collectives::Collective;
 use acclaim_dataset::{splits, BenchmarkDatabase, FeatureSpace, Point};
 use acclaim_ml::{ForestConfig, TreeUpdate};
-use acclaim_obs::{AttrValue, Obs};
+use acclaim_netsim::Allocation;
+use acclaim_obs::{AttrValue, Counter, Obs};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// How the next training point is chosen.
@@ -111,6 +117,12 @@ pub struct LearnerConfig {
     /// measure the speedup.
     #[serde(default)]
     pub incremental: bool,
+    /// Fault-tolerant collection: fault injection, per-benchmark
+    /// timeouts, retries with capped backoff, and robust aggregation.
+    /// The default injects nothing, in which case the collection path
+    /// is bit-identical to fault-unaware configurations.
+    #[serde(default)]
+    pub collection: CollectionPolicy,
 }
 
 impl LearnerConfig {
@@ -128,6 +140,7 @@ impl LearnerConfig {
             max_iterations: 400,
             seed: 0xACC,
             incremental: true,
+            collection: CollectionPolicy::default(),
         }
     }
 
@@ -164,6 +177,7 @@ impl LearnerConfig {
             max_iterations: 400,
             seed: 0xFAC7,
             incremental: true,
+            collection: CollectionPolicy::default(),
         }
     }
 
@@ -219,6 +233,12 @@ pub struct TrainingOutcome {
     /// Total real wall time spent on model updates (fits/refits plus
     /// variance scans), across all iterations (µs).
     pub model_update_wall_us: f64,
+    /// Aggregate fault-handling counters (all zero when faults are
+    /// disabled).
+    pub faults: FaultStats,
+    /// Chronological fault event log: retries, abandonments, node
+    /// evictions, and candidate drops.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl TrainingOutcome {
@@ -332,6 +352,19 @@ impl ActiveLearner {
         let mut stats = CollectionStats::default();
         let mut injector = cfg.nonp2_every.map(NonP2Injector::new);
 
+        // Fault-tolerant collection state. `fault_rt` is `None` when the
+        // policy injects nothing, and every fault-path branch below is
+        // gated on it, keeping the plain path identical to fault-unaware
+        // configurations. The local allocation starts as the job's and
+        // shrinks when nodes hard-fail.
+        let mut alloc = db.config().cluster.allocation.clone();
+        let mut fault_rt = cfg
+            .collection
+            .is_enabled()
+            .then(|| FaultRuntime::new(cfg.collection.clone(), cfg.seed, obs));
+        let mut wave_index: u64 = 0;
+        let mut last_wave_completed = usize::MAX;
+
         // Criterion state.
         let mut variance_conv = match &cfg.criterion {
             CriterionConfig::CumulativeVariance(v) => Some(v.clone()),
@@ -397,11 +430,27 @@ impl ActiveLearner {
                 seed_span.set_attr("points", pending.len() as u64);
             }
             while !pending.is_empty() {
+                if let Some(rt) = fault_rt.as_mut() {
+                    if rt.evict_dead(stats.wall_us, &mut alloc, wave_index) {
+                        // Prune the whole candidate pool, not just the
+                        // seed points: the training loop below must
+                        // never try to schedule a misfit either.
+                        rt.drop_oversized(
+                            alloc.len(),
+                            wave_index,
+                            &mut [&mut pending, &mut remaining],
+                            &mut collected_set,
+                        );
+                        if pending.is_empty() {
+                            break;
+                        }
+                    }
+                }
                 let (wave, placements): (Vec<Candidate>, Vec<Placement>) = match cfg.strategy {
                     CollectionStrategy::Sequential => (vec![pending.remove(0)], Vec::new()),
                     CollectionStrategy::Parallel => {
                         let cluster = &db.config().cluster;
-                        let w = schedule_wave(&cluster.topology, &cluster.allocation, &pending);
+                        let w = schedule_wave(&cluster.topology, &alloc, &pending);
                         // The greedy scheduler consumes a prefix of the list.
                         let wave = pending.drain(..w.parallelism().max(1)).collect();
                         (wave, w.placements)
@@ -409,20 +458,56 @@ impl ActiveLearner {
                 };
                 let wave_start_us = stats.wall_us;
                 let mut costs = Vec::with_capacity(wave.len());
+                let mut completed = 0usize;
                 for (slot, c) in wave.into_iter().enumerate() {
                     let s = db.sample(c.algorithm, c.point);
-                    collected.push(TrainingSample {
-                        point: c.point,
-                        algorithm: c.algorithm,
-                        time_us: s.mean_us,
-                    });
-                    collected_set.insert(c);
-                    if obs.is_enabled() {
-                        slot_span(obs, &placements, slot, c, wave_start_us, s.wall_us);
+                    match fault_rt.as_mut() {
+                        Some(rt) => {
+                            // Failed seed points re-enter through the
+                            // training loop's retry queue: the seeding
+                            // phase never blocks on one point.
+                            let (cost, ok) = faulty_slot(
+                                rt,
+                                obs,
+                                c,
+                                c,
+                                s.mean_us,
+                                s.wall_us,
+                                &placements,
+                                slot,
+                                wave_index,
+                                wave_start_us,
+                                &mut collected,
+                                &mut collected_set,
+                            );
+                            costs.push(cost);
+                            completed += ok as usize;
+                        }
+                        None => {
+                            collected.push(TrainingSample {
+                                point: c.point,
+                                algorithm: c.algorithm,
+                                time_us: s.mean_us,
+                            });
+                            collected_set.insert(c);
+                            if obs.is_enabled() {
+                                slot_span(
+                                    obs,
+                                    &placements,
+                                    slot,
+                                    c,
+                                    wave_start_us,
+                                    s.wall_us,
+                                    Vec::new(),
+                                );
+                            }
+                            costs.push(s.wall_us);
+                            completed += 1;
+                        }
                     }
-                    costs.push(s.wall_us);
                 }
-                stats.add_wave(&costs);
+                stats.add_wave_counting(&costs, completed);
+                wave_index += 1;
             }
         }
         remaining.retain(|c| !collected_set.contains(c));
@@ -443,6 +528,20 @@ impl ActiveLearner {
             let mut iter_span = obs.span("learner", "iteration");
             if obs.is_enabled() {
                 iter_span.set_attr("iteration", iteration as u64);
+            }
+            // Node hard failures take effect between waves: shrink the
+            // local allocation and retire the candidates it can no
+            // longer host before this iteration's ranking is computed,
+            // so subsequent waves are scheduled on the survivors only.
+            if let Some(rt) = fault_rt.as_mut() {
+                if rt.evict_dead(stats.wall_us, &mut alloc, wave_index) {
+                    rt.drop_oversized(
+                        alloc.len(),
+                        wave_index,
+                        &mut [&mut remaining],
+                        &mut collected_set,
+                    );
+                }
             }
             // Model update. With `incremental` the model warm-starts
             // (only trees whose bootstrap drew a new sample refit) and
@@ -503,15 +602,22 @@ impl ActiveLearner {
 
             // Stop checks. Structured as a single decision so the span
             // guard closes before the loop breaks; the check order and
-            // short-circuiting match the original cascade exactly.
+            // short-circuiting match the original cascade exactly. The
+            // variance detector is only fed when the previous wave made
+            // progress: a wave whose every slot failed leaves the
+            // cumulative variance untouched, and counting that repeat
+            // toward the plateau streak would declare convergence from
+            // faults rather than from information. Fault-free waves
+            // always complete every slot, so the gate is inert there.
             let stop = {
                 let mut conv_span = obs.span("learner", "convergence_check");
                 let stop = if collected.len() >= budget {
                     converged = matches!(cfg.criterion, CriterionConfig::MaxPoints(_));
                     true
-                } else if variance_conv
-                    .as_mut()
-                    .is_some_and(|v| v.push(primary_ranking.cumulative))
+                } else if (last_wave_completed != 0
+                    && variance_conv
+                        .as_mut()
+                        .is_some_and(|v| v.push(primary_ranking.cumulative)))
                     || slowdown_threshold
                         .zip(test_points.as_ref())
                         .is_some_and(|(th, pts)| {
@@ -583,11 +689,33 @@ impl ActiveLearner {
                 }
             };
 
+            // Retry scheduling: points whose backoff elapsed re-enter at
+            // the head of the order (they are known-uncertain — their
+            // attempt failed outright rather than measuring anything);
+            // points still backing off sit this wave out. When *every*
+            // remaining point is backing off, jump the wave clock to the
+            // next eligibility instead of spinning empty waves.
+            if let Some(rt) = fault_rt.as_mut() {
+                let mut ready = rt.take_ready(wave_index);
+                let waiting = rt.backing_off();
+                ordered.retain(|c| !waiting.contains(c) && !ready.contains(c));
+                if ordered.is_empty() && ready.is_empty() {
+                    if let Some(w) = rt.next_eligible_wave() {
+                        wave_index = w;
+                        ready = rt.take_ready(wave_index);
+                    }
+                }
+                for c in ready.into_iter().rev() {
+                    ordered.insert(0, c);
+                }
+            }
+            debug_assert!(!ordered.is_empty(), "selection produced no candidates");
+
             // Guided sampling: periodically promote a uniformly random
             // candidate to the head of the order.
             if let Some(every) = cfg.explore_every {
                 explore_counter += 1;
-                if every > 0 && explore_counter.is_multiple_of(every) {
+                if every > 0 && explore_counter.is_multiple_of(every) && !ordered.is_empty() {
                     let pick = rng.random_range(0..ordered.len());
                     ordered.swap(0, pick);
                     m_explore.incr();
@@ -603,7 +731,7 @@ impl ActiveLearner {
                     CollectionStrategy::Sequential => (vec![ordered[0]], Vec::new()),
                     CollectionStrategy::Parallel => {
                         let cluster = &db.config().cluster;
-                        let wave = schedule_wave(&cluster.topology, &cluster.allocation, &ordered);
+                        let wave = schedule_wave(&cluster.topology, &alloc, &ordered);
                         let cands = wave
                             .placements
                             .iter()
@@ -619,6 +747,7 @@ impl ActiveLearner {
             // Collect the wave (with every-5th non-P2 substitution).
             let wave_start_us = stats.wall_us;
             let mut costs = Vec::with_capacity(wave_candidates.len());
+            let mut completed = 0usize;
             {
                 let mut collect_span = obs.span("learner", "collect");
                 if obs.is_enabled() {
@@ -633,22 +762,58 @@ impl ActiveLearner {
                         m_nonp2.incr();
                     }
                     let s = db.sample(actual.algorithm, actual.point);
-                    collected.push(TrainingSample {
-                        point: actual.point,
-                        algorithm: actual.algorithm,
-                        time_us: s.mean_us,
-                    });
-                    if obs.is_enabled() {
-                        slot_span(obs, &wave_placements, slot, actual, wave_start_us, s.wall_us);
+                    match fault_rt.as_mut() {
+                        Some(rt) => {
+                            // Retries key on the P2 anchor (the pool
+                            // identity); the measurement itself is of
+                            // the possibly-substituted candidate.
+                            let (cost, ok) = faulty_slot(
+                                rt,
+                                obs,
+                                anchor,
+                                actual,
+                                s.mean_us,
+                                s.wall_us,
+                                &wave_placements,
+                                slot,
+                                wave_index,
+                                wave_start_us,
+                                &mut collected,
+                                &mut collected_set,
+                            );
+                            costs.push(cost);
+                            completed += ok as usize;
+                        }
+                        None => {
+                            collected.push(TrainingSample {
+                                point: actual.point,
+                                algorithm: actual.algorithm,
+                                time_us: s.mean_us,
+                            });
+                            if obs.is_enabled() {
+                                slot_span(
+                                    obs,
+                                    &wave_placements,
+                                    slot,
+                                    actual,
+                                    wave_start_us,
+                                    s.wall_us,
+                                    Vec::new(),
+                                );
+                            }
+                            costs.push(s.wall_us);
+                            completed += 1;
+                            // The P2 anchor leaves the pool either way: it was
+                            // either collected or represented by its non-P2 variant.
+                            collected_set.insert(anchor);
+                        }
                     }
-                    costs.push(s.wall_us);
-                    // The P2 anchor leaves the pool either way: it was
-                    // either collected or represented by its non-P2 variant.
-                    collected_set.insert(anchor);
                 }
             }
             remaining.retain(|c| !collected_set.contains(c));
-            stats.add_wave(&costs);
+            stats.add_wave_counting(&costs, completed);
+            last_wave_completed = completed;
+            wave_index += 1;
         }
 
         // Final model. The warm-started model is bit-identical to a
@@ -670,6 +835,10 @@ impl ActiveLearner {
             train_span.set_attr("converged", converged);
             train_span.set_attr("points", collected.len() as u64);
         }
+        let (faults, fault_events) = match fault_rt {
+            Some(rt) => (rt.stats, rt.events),
+            None => (FaultStats::default(), Vec::new()),
+        };
         TrainingOutcome {
             model,
             log,
@@ -678,8 +847,287 @@ impl ActiveLearner {
             stats,
             test_wall_us,
             model_update_wall_us,
+            faults,
+            fault_events,
         }
     }
+}
+
+/// Salt folded into the learner seed to derive the fault RNG streams,
+/// keeping fault draws independent of the selection RNG (whose stream
+/// must be untouched for the faults-disabled path to stay
+/// bit-identical).
+const FAULT_SEED_SALT: u64 = 0xFA01_7FA0;
+
+/// A point waiting out its retry backoff.
+struct DeferredPoint {
+    cand: Candidate,
+    eligible_wave: u64,
+}
+
+/// Per-run fault-handling state: the retry queue with capped
+/// exponential backoff, per-point attempt counts, node-eviction
+/// bookkeeping, aggregate [`FaultStats`] (mirrored into `collect.*`
+/// obs counters), and the chronological [`FaultEvent`] log.
+struct FaultRuntime {
+    policy: CollectionPolicy,
+    seed: u64,
+    stats: FaultStats,
+    events: Vec<FaultEvent>,
+    deferred: Vec<DeferredPoint>,
+    attempts: HashMap<Candidate, u32>,
+    m_retries: Counter,
+    m_timeouts: Counter,
+    m_failures: Counter,
+    m_outliers: Counter,
+    m_evictions: Counter,
+    m_abandoned: Counter,
+    m_dropped: Counter,
+}
+
+impl FaultRuntime {
+    fn new(policy: CollectionPolicy, seed: u64, obs: &Obs) -> Self {
+        FaultRuntime {
+            policy,
+            seed: seed ^ FAULT_SEED_SALT,
+            stats: FaultStats::default(),
+            events: Vec::new(),
+            deferred: Vec::new(),
+            attempts: HashMap::new(),
+            m_retries: obs.counter("collect.retries"),
+            m_timeouts: obs.counter("collect.timeouts"),
+            m_failures: obs.counter("collect.failures"),
+            m_outliers: obs.counter("collect.outliers_rejected"),
+            m_evictions: obs.counter("collect.node_evictions"),
+            m_abandoned: obs.counter("collect.points_abandoned"),
+            m_dropped: obs.counter("collect.candidates_dropped"),
+        }
+    }
+
+    /// Attempts already charged against `c` (0 for a fresh point).
+    fn attempt_index(&self, c: &Candidate) -> u32 {
+        self.attempts.get(c).copied().unwrap_or(0)
+    }
+
+    /// The deterministic fault RNG for `c`'s next attempt. Identity-
+    /// seeded per (candidate, attempt) — the same style as the
+    /// benchmark database's per-sample streams — so fault draws are
+    /// independent of collection order and of the selection RNG.
+    fn attempt_rng(&self, c: &Candidate) -> StdRng {
+        let mut h = DefaultHasher::new();
+        c.hash(&mut h);
+        self.attempt_index(c).hash(&mut h);
+        StdRng::seed_from_u64(self.seed ^ h.finish())
+    }
+
+    /// Fold one attempt's repeat-level outcomes into the counters.
+    fn record_attempt(&mut self, out: &AttemptOutcome) {
+        self.stats.timeouts += out.timeouts as u64;
+        self.stats.failures += out.failures as u64;
+        self.stats.outliers_rejected += out.outliers_rejected as u64;
+        self.m_timeouts.add(out.timeouts as u64);
+        self.m_failures.add(out.failures as u64);
+        self.m_outliers.add(out.outliers_rejected as u64);
+    }
+
+    /// The point was collected; clear its attempt history.
+    fn on_success(&mut self, c: &Candidate) {
+        self.attempts.remove(c);
+    }
+
+    /// The attempt produced nothing: queue a retry with capped
+    /// exponential backoff, or abandon the point once its retries are
+    /// exhausted. Returns true when the point is abandoned.
+    fn on_failure(&mut self, c: Candidate, wave: u64) -> bool {
+        let attempts = self.attempt_index(&c) + 1;
+        if attempts > self.policy.max_retries {
+            self.attempts.remove(&c);
+            self.stats.points_abandoned += 1;
+            self.m_abandoned.incr();
+            self.events.push(FaultEvent::Abandoned {
+                wave,
+                candidate: c,
+                attempts,
+            });
+            true
+        } else {
+            self.attempts.insert(c, attempts);
+            let eligible_wave = wave + self.policy.backoff_waves(attempts);
+            self.deferred.push(DeferredPoint {
+                cand: c,
+                eligible_wave,
+            });
+            self.stats.retries += 1;
+            self.m_retries.incr();
+            self.events.push(FaultEvent::Retry {
+                wave,
+                candidate: c,
+                attempt: attempts,
+                eligible_wave,
+            });
+            false
+        }
+    }
+
+    /// Drain the points whose backoff has elapsed by `wave`, in
+    /// queueing order.
+    fn take_ready(&mut self, wave: u64) -> Vec<Candidate> {
+        let mut ready = Vec::new();
+        self.deferred.retain(|d| {
+            if d.eligible_wave <= wave {
+                ready.push(d.cand);
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// The points still waiting out a backoff.
+    fn backing_off(&self) -> HashSet<Candidate> {
+        self.deferred.iter().map(|d| d.cand).collect()
+    }
+
+    /// Earliest wave at which any deferred point becomes eligible.
+    fn next_eligible_wave(&self) -> Option<u64> {
+        self.deferred.iter().map(|d| d.eligible_wave).min()
+    }
+
+    /// Evict the nodes whose hard failure has onset by `now_us` from
+    /// the allocation. Returns true when the allocation shrank.
+    fn evict_dead(&mut self, now_us: f64, alloc: &mut Allocation, wave: u64) -> bool {
+        let dead: Vec<u32> = self
+            .policy
+            .faults
+            .dead_nodes_at(now_us)
+            .into_iter()
+            .filter(|n| alloc.nodes().contains(n))
+            .collect();
+        if dead.is_empty() {
+            return false;
+        }
+        *alloc = alloc.excluding(&dead);
+        for node in dead {
+            self.stats.node_evictions += 1;
+            self.m_evictions.incr();
+            self.events.push(FaultEvent::NodeEvicted { wave, node });
+        }
+        true
+    }
+
+    /// Drop every candidate the degraded allocation can no longer host
+    /// from each pool and from the retry queue, retiring each through
+    /// `collected_set` so the ranking caches and later pool filters all
+    /// agree that it is off the table. A candidate present in several
+    /// pools is counted once.
+    fn drop_oversized(
+        &mut self,
+        max_nodes: u32,
+        wave: u64,
+        pools: &mut [&mut Vec<Candidate>],
+        collected_set: &mut HashSet<Candidate>,
+    ) {
+        let mut count = 0u32;
+        let mut retire = |c: Candidate, collected_set: &mut HashSet<Candidate>| {
+            if collected_set.insert(c) {
+                count += 1;
+            }
+        };
+        for pool in pools.iter_mut() {
+            pool.retain(|c| {
+                if c.point.nodes <= max_nodes {
+                    true
+                } else {
+                    retire(*c, collected_set);
+                    false
+                }
+            });
+        }
+        self.deferred.retain(|d| {
+            if d.cand.point.nodes <= max_nodes {
+                true
+            } else {
+                retire(d.cand, collected_set);
+                false
+            }
+        });
+        if count > 0 {
+            self.stats.candidates_dropped += count as u64;
+            self.m_dropped.add(count as u64);
+            self.events.push(FaultEvent::CandidatesDropped { wave, count });
+        }
+    }
+}
+
+/// Execute one collection slot under the fault policy: draw the
+/// attempt's faults from its identity-seeded RNG, charge the slot's
+/// wall cost, and either record the robust aggregate as a training
+/// sample (retiring `anchor` from the pool) or queue a retry /
+/// abandonment. Returns the slot's wall cost and whether a training
+/// point was produced.
+#[allow(clippy::too_many_arguments)]
+fn faulty_slot(
+    rt: &mut FaultRuntime,
+    obs: &Obs,
+    anchor: Candidate,
+    actual: Candidate,
+    clean_mean_us: f64,
+    clean_wall_us: f64,
+    placements: &[Placement],
+    slot: usize,
+    wave_index: u64,
+    wave_start_us: f64,
+    collected: &mut Vec<TrainingSample>,
+    collected_set: &mut HashSet<Candidate>,
+) -> (f64, bool) {
+    let attempt = rt.attempt_index(&anchor) + 1;
+    let mut rng = rt.attempt_rng(&anchor);
+    let out = run_attempt(clean_mean_us, clean_wall_us, &rt.policy, &mut rng);
+    rt.record_attempt(&out);
+    let ok = out.value_us.is_some();
+    let outcome = match out.value_us {
+        Some(value) => {
+            collected.push(TrainingSample {
+                point: actual.point,
+                algorithm: actual.algorithm,
+                time_us: value,
+            });
+            collected_set.insert(anchor);
+            rt.on_success(&anchor);
+            "ok"
+        }
+        None => {
+            if rt.on_failure(anchor, wave_index) {
+                // An abandoned point leaves the pool uncollected.
+                collected_set.insert(anchor);
+                "abandoned"
+            } else {
+                "retry"
+            }
+        }
+    };
+    if obs.is_enabled() {
+        slot_span(
+            obs,
+            placements,
+            slot,
+            actual,
+            wave_start_us,
+            out.wall_us,
+            vec![
+                ("attempt".to_string(), AttrValue::from(attempt as u64)),
+                (
+                    "valid_repeats".to_string(),
+                    AttrValue::from(out.valid as u64),
+                ),
+                ("timeouts".to_string(), AttrValue::from(out.timeouts as u64)),
+                ("failures".to_string(), AttrValue::from(out.failures as u64)),
+                ("outcome".to_string(), AttrValue::from(outcome.to_string())),
+            ],
+        );
+    }
+    (out.wall_us, ok)
 }
 
 /// Emit one closed sim-timeline span for a collection slot, on a
@@ -689,6 +1137,7 @@ impl ActiveLearner {
 /// align with wave slots by index); sequential collection synthesizes
 /// a run starting at node 0. Chrome's trace viewer renders these lanes
 /// as concurrent rows, making wave parallelism visible.
+#[allow(clippy::too_many_arguments)]
 fn slot_span(
     obs: &Obs,
     placements: &[Placement],
@@ -696,33 +1145,37 @@ fn slot_span(
     c: Candidate,
     wave_start_us: f64,
     cost_us: f64,
+    extra: Vec<(String, AttrValue)>,
 ) {
     let (start_node, node_count) = match placements.get(slot) {
         Some(p) => (p.start_node, p.node_count.max(1)),
         None => (0, c.point.nodes.max(1)),
     };
     let track = format!("nodes {}-{}", start_node, start_node + node_count - 1);
+    let mut attrs = vec![
+        (
+            "algorithm".to_string(),
+            AttrValue::from(format!("{:?}", c.algorithm)),
+        ),
+        ("nodes".to_string(), AttrValue::from(c.point.nodes as u64)),
+        ("ppn".to_string(), AttrValue::from(c.point.ppn as u64)),
+        ("msg_bytes".to_string(), AttrValue::from(c.point.msg_bytes)),
+    ];
+    attrs.extend(extra);
     obs.span_at(
         "collect",
         "slot",
         &track,
         wave_start_us,
         wave_start_us + cost_us,
-        vec![
-            (
-                "algorithm".to_string(),
-                AttrValue::from(format!("{:?}", c.algorithm)),
-            ),
-            ("nodes".to_string(), AttrValue::from(c.point.nodes as u64)),
-            ("ppn".to_string(), AttrValue::from(c.point.ppn as u64)),
-            ("msg_bytes".to_string(), AttrValue::from(c.point.msg_bytes)),
-        ],
+        attrs,
     );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collector::RobustAgg;
     use acclaim_dataset::DatasetConfig;
 
     fn tiny_db() -> BenchmarkDatabase {
@@ -747,6 +1200,7 @@ mod tests {
             max_iterations: 100,
             seed: 42,
             incremental: true,
+            collection: CollectionPolicy::default(),
         }
     }
 
@@ -807,6 +1261,7 @@ mod tests {
             max_iterations: 200,
             seed: 7,
             incremental: true,
+            collection: CollectionPolicy::default(),
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Allreduce, &space, None);
         let total_candidates = space.len() * 2;
@@ -844,6 +1299,7 @@ mod tests {
             max_iterations: 60,
             seed: 13,
             incremental: true,
+            collection: CollectionPolicy::default(),
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
         assert!(out.test_wall_us > 0.0, "test set must cost machine time");
@@ -901,6 +1357,122 @@ mod tests {
         let random = ActiveLearner::new(budget_config(SelectionPolicy::Random, 40))
             .train(&db, Collective::Bcast, &space, None);
         assert_ne!(own.collected, random.collected);
+    }
+
+    /// A harsh policy whose per-attempt failure odds are high enough
+    /// that a short run reliably exercises retries, timeouts, and
+    /// outlier rejection.
+    fn harsh_policy() -> CollectionPolicy {
+        CollectionPolicy {
+            faults: acclaim_netsim::FaultModel {
+                failure_probability: 0.25,
+                straggler_probability: 0.25,
+                straggler_factor: 8.0,
+                node_failures: Vec::new(),
+            },
+            repeats: 3,
+            ..CollectionPolicy::default()
+        }
+    }
+
+    #[test]
+    fn faulty_collection_retries_and_still_trains() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            strategy: CollectionStrategy::Parallel,
+            collection: harsh_policy(),
+            ..budget_config(SelectionPolicy::OwnVariance, 40)
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert!(!out.collected.is_empty());
+        assert_eq!(out.stats.points, out.collected.len());
+        let f = &out.faults;
+        assert!(f.retries > 0, "harsh faults must force retries: {f:?}");
+        assert!(f.timeouts + f.failures > 0, "fault counters empty: {f:?}");
+        assert!(
+            !out.fault_events.is_empty(),
+            "retries must be logged as events"
+        );
+        // Failed slots burn wall time without yielding points, so the
+        // sequential-equivalent cost must exceed a clean run's.
+        assert!(out.stats.wall_us > 0.0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let cfg = LearnerConfig {
+            strategy: CollectionStrategy::Parallel,
+            collection: harsh_policy(),
+            ..budget_config(SelectionPolicy::OwnVariance, 40)
+        };
+        let a = ActiveLearner::new(cfg.clone()).train(&db, Collective::Bcast, &space, None);
+        let b = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert_eq!(a.collected, b.collected);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn node_failure_shrinks_the_allocation_and_drops_misfits() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        // Node 0 dies at t=0: the 8-node allocation degrades to 7
+        // before the first wave, so every 8-node candidate (including
+        // seed corners) must be dropped, and training must complete on
+        // the survivors.
+        let cfg = LearnerConfig {
+            strategy: CollectionStrategy::Parallel,
+            collection: CollectionPolicy {
+                faults: acclaim_netsim::FaultModel::none().with_node_failure(0, 0.0),
+                ..CollectionPolicy::default()
+            },
+            ..budget_config(SelectionPolicy::OwnVariance, 30)
+        };
+        let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
+        assert_eq!(out.faults.node_evictions, 1);
+        assert!(out.faults.candidates_dropped > 0);
+        assert!(out
+            .fault_events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::NodeEvicted { node: 0, .. })));
+        assert!(
+            out.collected.iter().all(|s| s.point.nodes < 8),
+            "no 8-node point can run on a 7-node allocation"
+        );
+        assert!(!out.collected.is_empty());
+    }
+
+    #[test]
+    fn disabled_fault_policy_is_bit_identical_to_default() {
+        let db = tiny_db();
+        let space = FeatureSpace::tiny();
+        let base = LearnerConfig {
+            strategy: CollectionStrategy::Parallel,
+            ..budget_config(SelectionPolicy::OwnVariance, 30)
+        };
+        // Non-fault knobs of the policy must be inert while faults are
+        // disabled.
+        let tweaked = LearnerConfig {
+            collection: CollectionPolicy {
+                faults: acclaim_netsim::FaultModel::none(),
+                max_retries: 9,
+                bench_timeout_factor: 1.5,
+                repeats: 7,
+                backoff_cap_waves: 2,
+                agg: RobustAgg::Mean,
+            },
+            ..base.clone()
+        };
+        let a = ActiveLearner::new(base).train(&db, Collective::Reduce, &space, None);
+        let b = ActiveLearner::new(tweaked).train(&db, Collective::Reduce, &space, None);
+        assert_eq!(a.collected, b.collected);
+        assert_eq!(a.stats, b.stats);
+        assert!(b.faults.is_quiet());
+        assert!(b.fault_events.is_empty());
     }
 
     #[test]

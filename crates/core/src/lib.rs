@@ -26,6 +26,10 @@ pub mod rules;
 pub mod selection;
 
 pub use acclaim::{application_impact, Acclaim, AcclaimConfig, ApplicationImpact, JobTuning};
+pub use collector::{
+    robust_aggregate, run_attempt, AttemptOutcome, CollectionPolicy, CollectionStats, FaultEvent,
+    FaultStats, RobustAgg,
+};
 pub use convergence::{SlowdownThreshold, VarianceConvergence};
 pub use learner::{
     ActiveLearner, CollectionStrategy, CriterionConfig, IterationRecord, LearnerConfig,

@@ -24,6 +24,7 @@
 
 pub mod cluster;
 pub mod des;
+pub mod fault;
 pub mod noise;
 pub mod params;
 pub mod roundsim;
@@ -32,6 +33,7 @@ pub mod topology;
 
 pub use cluster::Cluster;
 pub use des::FlowSim;
+pub use fault::{BenchFault, FaultModel, NodeFailure};
 pub use noise::NoiseModel;
 pub use params::NetworkParams;
 pub use roundsim::RoundSim;

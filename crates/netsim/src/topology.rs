@@ -225,6 +225,24 @@ impl Allocation {
         &self.nodes
     }
 
+    /// The allocation with the given global node ids removed (surviving
+    /// nodes keep their relative logical order). Used when a node
+    /// hard-fails mid-collection: subsequent waves schedule over the
+    /// degraded allocation, and rack burn-sets are recomputed from it.
+    ///
+    /// Panics if removal would empty the allocation — a job with no
+    /// surviving nodes cannot continue.
+    pub fn excluding(&self, dead: &[u32]) -> Allocation {
+        let nodes: Vec<u32> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !dead.contains(n))
+            .collect();
+        assert!(!nodes.is_empty(), "every node of the allocation died");
+        Allocation { nodes }
+    }
+
     /// Restrict to a logical sub-range (used by the parallel-collection
     /// scheduler to hand disjoint node sets to concurrent benchmarks).
     pub fn slice(&self, start: u32, count: u32) -> Allocation {
@@ -337,6 +355,24 @@ mod tests {
         let a = Allocation::contiguous(&t, 8);
         let s = a.slice(2, 3);
         assert_eq!(s.nodes(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn excluding_removes_dead_nodes_preserving_order() {
+        let t = topo();
+        let a = Allocation::contiguous(&t, 8);
+        let d = a.excluding(&[2, 5]);
+        assert_eq!(d.nodes(), &[0, 1, 3, 4, 6, 7]);
+        // Ids absent from the allocation are ignored.
+        assert_eq!(a.excluding(&[99]).nodes(), a.nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "every node")]
+    fn excluding_all_nodes_rejected() {
+        let t = topo();
+        let a = Allocation::contiguous(&t, 2);
+        let _ = a.excluding(&[0, 1]);
     }
 
     #[test]

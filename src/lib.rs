@@ -53,9 +53,10 @@ pub mod prelude {
     };
     pub use acclaim_core::{
         all_candidates, application_impact, rank_by_variance, Acclaim, AcclaimConfig,
-        ActiveLearner, Candidate, CollectionStrategy, CriterionConfig, JobTuning,
-        LearnerConfig, PerfModel, SelectionPolicy, TrainingOutcome, TrainingSample,
-        TunedSelector, TuningFile, VarianceConvergence, VarianceScanCache,
+        ActiveLearner, Candidate, CollectionPolicy, CollectionStrategy, CriterionConfig,
+        FaultEvent, FaultStats, JobTuning, LearnerConfig, PerfModel, RobustAgg,
+        SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
+        VarianceConvergence, VarianceScanCache,
     };
     pub use acclaim_dataset::{
         BenchmarkDatabase, DatasetConfig, FeatureSpace, Point, Sample,
@@ -65,7 +66,7 @@ pub mod prelude {
         CONVERGENCE_SLOWDOWN,
     };
     pub use acclaim_netsim::{
-        Allocation, Cluster, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
+        Allocation, Cluster, FaultModel, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
     };
     pub use acclaim_obs::{Diag, Obs};
 }
