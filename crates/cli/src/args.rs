@@ -11,6 +11,9 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// First positional argument.
     pub command: Option<String>,
+    /// Second positional argument — the action of commands that take
+    /// one (`store ls` / `store gc` / `store export` / `store import`).
+    pub action: Option<String>,
     values: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -38,6 +41,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.action.is_none() {
+                out.action = Some(tok);
             } else {
                 return Err(format!("unexpected positional argument '{tok}'"));
             }
@@ -133,8 +138,16 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_action() {
+        let a = parse(&["store", "ls", "--store", "cache"]);
+        assert_eq!(a.command.as_deref(), Some("store"));
+        assert_eq!(a.action.as_deref(), Some("ls"));
+        assert_eq!(a.get("store"), Some("cache"));
+    }
+
+    #[test]
     fn unexpected_positional_rejected() {
-        let e = Args::parse(["x", "y"].map(String::from)).unwrap_err();
+        let e = Args::parse(["x", "y", "z"].map(String::from)).unwrap_err();
         assert!(e.contains("unexpected"));
     }
 

@@ -2,5 +2,6 @@
 
 pub mod selections;
 pub mod simulate;
+pub mod store;
 pub mod traces;
 pub mod tune;

@@ -1,0 +1,162 @@
+//! `acclaim store` — inspect and maintain a persistent tuning store.
+//!
+//! Actions: `ls` (list cached entries), `gc` (drop corrupt or
+//! foreign-version files), `export` (bundle every entry into one JSON
+//! file), `import` (merge a bundle; existing keys win).
+
+use crate::args::Args;
+use acclaim_obs::Diag;
+use acclaim_store::TuningStore;
+use std::fmt::Write;
+
+/// Run the subcommand; returns the report printed to stdout.
+pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
+    let dir = args
+        .get("store")
+        .ok_or("missing required option --store DIR")?;
+    let store = TuningStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+    match args.action.as_deref() {
+        Some("ls") => ls(&store),
+        Some("gc") => gc(&store, diag),
+        Some("export") => export(&store, args, diag),
+        Some("import") => import(&store, args, diag),
+        Some(other) => Err(format!(
+            "unknown store action '{other}' (ls | gc | export | import)"
+        )),
+        None => Err("missing store action (ls | gc | export | import)".into()),
+    }
+}
+
+fn ls(store: &TuningStore) -> Result<String, String> {
+    let entries = store.summaries().map_err(|e| format!("reading store: {e}"))?;
+    if entries.is_empty() {
+        return Ok("store is empty\n".to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:>6} {:>5} {:>10}  axes",
+        "key", "collective", "points", "iters", "coll (min)"
+    );
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:>6} {:>5} {:>10.2}  nodes {:?} ppn {:?}",
+            e.key,
+            e.collective,
+            e.points,
+            e.iterations,
+            e.collection_wall_us / 60e6,
+            e.nodes,
+            e.ppns,
+        );
+    }
+    let _ = writeln!(out, "{} entries", entries.len());
+    Ok(out)
+}
+
+fn gc(store: &TuningStore, diag: &Diag) -> Result<String, String> {
+    let report = store.gc().map_err(|e| format!("sweeping store: {e}"))?;
+    diag.progress(&format!("gc swept {}", store.root().display()));
+    Ok(format!(
+        "gc: kept {} entries, removed {}\n",
+        report.kept, report.removed
+    ))
+}
+
+fn export(store: &TuningStore, args: &Args, diag: &Diag) -> Result<String, String> {
+    let out_path = args.get_or("out", "store-export.json");
+    let n = store
+        .export(out_path)
+        .map_err(|e| format!("exporting to {out_path}: {e}"))?;
+    diag.progress(&format!("exported {n} entries"));
+    Ok(format!("exported {n} entries to {out_path}\n"))
+}
+
+fn import(store: &TuningStore, args: &Args, diag: &Diag) -> Result<String, String> {
+    let in_path = args
+        .get("in")
+        .ok_or("missing required option --in FILE (an `acclaim store export` bundle)")?;
+    let report = store
+        .import(in_path)
+        .map_err(|e| format!("importing {in_path}: {e}"))?;
+    diag.progress(&format!("imported from {in_path}"));
+    Ok(format!(
+        "imported {} entries, skipped {} (already present or unreadable)\n",
+        report.imported, report.skipped
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, String> {
+        let args = Args::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+        run(&args, &Diag::new(true))
+    }
+
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn ls_on_an_empty_store() {
+        let dir = temp_store("acclaim-cli-store-ls");
+        let out = run_tokens(&["store", "ls", "--store", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("store is empty"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_reclaims_corrupt_files() {
+        let dir = temp_store("acclaim-cli-store-gc");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("0123456789abcdef.json"), "not json").unwrap();
+        let out = run_tokens(&["store", "gc", "--store", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("removed 1"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_import_roundtrip_on_empty_store() {
+        let dir = temp_store("acclaim-cli-store-exp");
+        let bundle = std::env::temp_dir().join("acclaim-cli-store-exp-bundle.json");
+        let out = run_tokens(&[
+            "store",
+            "export",
+            "--store",
+            dir.to_str().unwrap(),
+            "--out",
+            bundle.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("exported 0"));
+        let out = run_tokens(&[
+            "store",
+            "import",
+            "--store",
+            dir.to_str().unwrap(),
+            "--in",
+            bundle.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("imported 0"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&bundle).ok();
+    }
+
+    #[test]
+    fn bad_or_missing_action_is_rejected() {
+        let dir = temp_store("acclaim-cli-store-bad");
+        let e = run_tokens(&["store", "prune", "--store", dir.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("unknown store action"));
+        let e = run_tokens(&["store", "--store", dir.to_str().unwrap()]).unwrap_err();
+        assert!(e.contains("missing store action"));
+        let e = run_tokens(&["store", "ls"]).unwrap_err();
+        assert!(e.contains("--store"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

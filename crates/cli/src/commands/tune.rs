@@ -8,6 +8,7 @@ use acclaim_core::{
     Acclaim, AcclaimConfig, CollectionPolicy, CollectionStrategy, CriterionConfig, RobustAgg,
 };
 use acclaim_obs::{Diag, Obs};
+use acclaim_store::{tune_with_store, TuningStore};
 
 /// Parse the fault-tolerant collection options into a policy.
 fn collection_from(args: &Args) -> Result<CollectionPolicy, String> {
@@ -65,10 +66,18 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     config.learner.collection = collection_from(args)?;
     let policy = config.learner.collection.clone();
 
-    // Fault handling is counted through acclaim-obs, so fault-injected
-    // runs force the recorder on even without a trace output — the
-    // report's fault-counter line is sourced from the metrics snapshot.
-    let obs = if policy.is_enabled() && !obs.is_enabled() {
+    // Persistent tuning store: `--store DIR` warm-starts from (and
+    // writes back to) a cross-job cache; `--no-store` wins when both
+    // are given, so scripts can override an aliased default.
+    let store_dir = args
+        .get("store")
+        .filter(|_| !args.flag("no-store"))
+        .map(str::to_string);
+
+    // Fault handling and store traffic are counted through acclaim-obs,
+    // so both force the recorder on even without a trace output — the
+    // report's counter lines are sourced from the metrics snapshot.
+    let obs = if (policy.is_enabled() || store_dir.is_some()) && !obs.is_enabled() {
         Obs::enabled()
     } else {
         obs
@@ -81,7 +90,15 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     ));
     let tuning = {
         let _span = obs.span("cli", "tune");
-        Acclaim::new(config).tune_with_obs(&db, &collectives, &obs)
+        match &store_dir {
+            Some(dir) => {
+                let store =
+                    TuningStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+                tune_with_store(&store, &config, &db, &collectives, &obs)
+                    .map_err(|e| format!("store-backed tuning: {e}"))?
+            }
+            None => Acclaim::new(config).tune_with_obs(&db, &collectives, &obs),
+        }
     };
     let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json())
         .expect("tuning file serializes");
@@ -91,6 +108,24 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
 
     let mut report = String::new();
     report.push_str(&tuning.summary());
+    if store_dir.is_some() {
+        let snap = obs.snapshot();
+        let counters: Vec<String> = snap
+            .metrics
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("store."))
+            .map(|(name, value)| format!("{}={value}", name.trim_start_matches("store.")))
+            .collect();
+        report.push_str(&format!(
+            "store counters (obs): {}\n",
+            if counters.is_empty() {
+                "none recorded".to_string()
+            } else {
+                counters.join(" ")
+            }
+        ));
+    }
     if policy.is_enabled() {
         let snap = obs.snapshot();
         let counters: Vec<String> = snap
@@ -183,6 +218,33 @@ mod tests {
         let parsed =
             TuningFile::from_mpich_json(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(parsed.collectives.len(), 1);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn tune_with_store_warm_starts_the_second_run() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-store-test.json");
+        let dir = std::env::temp_dir().join("acclaim-cli-tune-store-test-cache");
+        std::fs::remove_dir_all(&dir).ok();
+        let store_args = ["--store", dir.to_str().unwrap()];
+        let cold = run(&tune_args(&store_args, &out), &Diag::new(true)).unwrap();
+        assert!(
+            cold.contains("store counters (obs):") && cold.contains("misses=1"),
+            "first run should miss:\n{cold}"
+        );
+        let warm = run(&tune_args(&store_args, &out), &Diag::new(true)).unwrap();
+        assert!(
+            warm.contains("exact_hits=1") && warm.contains("points_reused="),
+            "second run should hit:\n{warm}"
+        );
+        // --no-store overrides --store and silences the counter line.
+        let off = run(
+            &tune_args(&["--store", dir.to_str().unwrap(), "--no-store"], &out),
+            &Diag::new(true),
+        )
+        .unwrap();
+        assert!(!off.contains("store counters"), "{off}");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&out).ok();
     }
 

@@ -3,16 +3,19 @@
 //!
 //! ```text
 //! acclaim tune       --machine theta --nodes 32 --ppn 16 --collectives bcast,allreduce \
-//!                    --out tuning.json [--db cache.json] [--budget N] [--sequential]
+//!                    --out tuning.json [--db cache.json] [--budget N] [--sequential] \
+//!                    [--store DIR | --no-store]
 //! acclaim selections --tuning tuning.json --collective bcast --nodes 16 --ppn 8
 //! acclaim simulate   --machine bebop --nodes 16 --ppn 4 --collective reduce --msg 262144
+//! acclaim store      ls|gc|export|import --store DIR [--out FILE] [--in FILE]
 //! acclaim traces
 //! ```
 //!
 //! `tune` runs the full Fig. 1(b) pipeline on the simulated machine and
 //! writes the MPICH-style JSON tuning file; `selections` shows what that
 //! file (or the MPICH default heuristic) picks; `simulate` prices every
-//! algorithm at one point; `traces` summarizes the synthetic
+//! algorithm at one point; `store` inspects and maintains the
+//! persistent cross-job tuning store; `traces` summarizes the synthetic
 //! application traces.
 
 mod args;
@@ -40,20 +43,35 @@ commands:
               [--latency-factor F]
               [--faults none|production] [--max-retries N] [--repeats N]
               [--bench-timeout-factor F] [--robust-agg median|mean]
+              [--store DIR] [--no-store]
+              (--store warm-starts from and persists to a cross-job
+               tuning store; --no-store wins when both are given)
   selections  print the selections of a tuning file (or the defaults)
               [--tuning FILE] --collective NAME --nodes N --ppn N
               [--min-msg B --max-msg B]
   simulate    price every algorithm of a collective at one point
               --machine bebop|theta --nodes N --ppn N --collective NAME
               --msg BYTES [--latency-factor F] [--engine rounds|flows]
+  store       inspect/maintain a persistent tuning store
+              ls     --store DIR        list cached entries
+              gc     --store DIR        drop corrupt/foreign-version files
+              export --store DIR --out FILE   bundle entries to one file
+              import --store DIR --in FILE    merge a bundle (local wins)
   traces      summarize the synthetic application traces [--max-msg B]
 ";
 
 fn dispatch(args: Args, diag: &Diag) -> Result<String, String> {
+    // Only `store` takes an action positional.
+    if args.command.as_deref() != Some("store") {
+        if let Some(action) = &args.action {
+            return Err(format!("unexpected positional argument '{action}'"));
+        }
+    }
     match args.command.as_deref() {
         Some("tune") => commands::tune::run(&args, diag),
         Some("selections") => commands::selections::run(&args, diag),
         Some("simulate") => commands::simulate::run(&args, diag),
+        Some("store") => commands::store::run(&args, diag),
         Some("traces") => commands::traces::run(&args, diag),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),

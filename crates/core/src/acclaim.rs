@@ -9,7 +9,7 @@
 //! report tracks it explicitly (Fig. 14/15).
 
 use crate::collector::FaultStats;
-use crate::learner::{ActiveLearner, LearnerConfig, TrainingOutcome};
+use crate::learner::{ActiveLearner, LearnerConfig, TrainingOutcome, WarmStart};
 use crate::rules::{generate_rules, TunedSelector, TuningFile};
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_dataset::{traces::AppTrace, BenchmarkDatabase, FeatureSpace};
@@ -175,12 +175,30 @@ impl Acclaim {
         collectives: &[Collective],
         obs: &Obs,
     ) -> JobTuning {
+        self.tune_with_warm(db, collectives, obs, |_| None)
+    }
+
+    /// [`Acclaim::tune_with_obs`] with per-collective warm starts: the
+    /// `warm_for` callback supplies prior measurements (typically probed
+    /// from a persistent tuning store) for each collective before its
+    /// training run. Returning `None` everywhere is bit-identical to
+    /// [`Acclaim::tune_with_obs`]. The callback keeps this crate
+    /// store-agnostic — `acclaim-store` plugs in here.
+    pub fn tune_with_warm(
+        &self,
+        db: &BenchmarkDatabase,
+        collectives: &[Collective],
+        obs: &Obs,
+        warm_for: impl Fn(Collective) -> Option<WarmStart>,
+    ) -> JobTuning {
         assert!(!collectives.is_empty(), "the user must list collectives");
         let learner = ActiveLearner::new(self.config.learner.clone());
         let mut reports = Vec::with_capacity(collectives.len());
         let mut tables = Vec::with_capacity(collectives.len());
         for &c in collectives {
-            let outcome = learner.train_with_obs(db, c, &self.config.space, None, obs);
+            let warm = warm_for(c);
+            let outcome =
+                learner.train_warm(db, c, &self.config.space, None, obs, warm.as_ref());
             {
                 let _span = obs.span("learner", "generate_rules");
                 tables.push(generate_rules(&outcome.model, &self.config.space));

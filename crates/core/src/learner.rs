@@ -214,6 +214,59 @@ pub struct IterationRecord {
     pub wave_parallelism: usize,
 }
 
+/// Prior measurements injected into a training run before the corner
+/// seeding phase — the mechanism behind cross-job warm starts.
+///
+/// `exact` rows were measured under an *identical* cluster signature
+/// (same topology, network parameters, feature-space axes, and fault
+/// preset): they are trusted as-is, enter the training set at zero
+/// collection cost, and retire their candidates from the selection
+/// pool. `priors` rows come from a *near* signature (same machine,
+/// different node/ppn axes): they also enter the training set for free,
+/// but their candidates stay in the pool — the learner may re-measure
+/// them, and a fresh measurement simply outvotes the prior inside the
+/// forest. Non-P2 rows (whose candidate is not in the current pool)
+/// inform the model without retiring anything.
+///
+/// An empty warm start — or passing `None` to
+/// [`ActiveLearner::train_warm`] — leaves the run bit-identical to
+/// [`ActiveLearner::train`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// Trusted measurements from an identical cluster signature.
+    pub exact: Vec<TrainingSample>,
+    /// Deweighted measurements from a near (compatible) signature.
+    pub priors: Vec<TrainingSample>,
+}
+
+impl WarmStart {
+    /// A warm start whose rows are all trusted (exact-key store hit).
+    pub fn from_exact(samples: Vec<TrainingSample>) -> Self {
+        WarmStart {
+            exact: samples,
+            priors: Vec::new(),
+        }
+    }
+
+    /// A warm start whose rows are all priors (near-key store hit).
+    pub fn from_priors(samples: Vec<TrainingSample>) -> Self {
+        WarmStart {
+            exact: Vec::new(),
+            priors: samples,
+        }
+    }
+
+    /// Total number of injected rows.
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.priors.len()
+    }
+
+    /// Whether the warm start carries no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.priors.is_empty()
+    }
+}
+
 /// The result of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainingOutcome {
@@ -239,6 +292,14 @@ pub struct TrainingOutcome {
     /// Chronological fault event log: retries, abandonments, node
     /// evictions, and candidate drops.
     pub fault_events: Vec<FaultEvent>,
+    /// Trusted measurements injected by a warm start (0 on cold runs).
+    /// These are the leading rows of `collected` after any priors.
+    pub reused_points: usize,
+    /// Foreign prior rows injected by a near-key warm start (0 on cold
+    /// and exact-key runs). These are the first rows of `collected` and
+    /// belong to a *different* cluster signature — persistence layers
+    /// must not re-store them under this run's key.
+    pub prior_points: usize,
 }
 
 impl TrainingOutcome {
@@ -325,6 +386,28 @@ impl ActiveLearner {
         eval_points: Option<&[Point]>,
         obs: &Obs,
     ) -> TrainingOutcome {
+        self.train_warm(db, collective, space, eval_points, obs, None)
+    }
+
+    /// [`ActiveLearner::train_with_obs`] with an optional [`WarmStart`]:
+    /// prior measurements enter the training set before corner seeding,
+    /// at zero collection cost. Exact rows replace the cold bootstrap
+    /// (their candidates — including the corners they cover — are
+    /// retired from the pool), the forest warm-refits on them through
+    /// the usual fit path, and active learning runs only for the
+    /// residual variance. With `None` (or an empty warm start) the run
+    /// is bit-identical to [`ActiveLearner::train_with_obs`] — every
+    /// warm-start branch is gated, the pattern the fault and tracing
+    /// layers also follow.
+    pub fn train_warm(
+        &self,
+        db: &BenchmarkDatabase,
+        collective: Collective,
+        space: &FeatureSpace,
+        eval_points: Option<&[Point]>,
+        obs: &Obs,
+        warm: Option<&WarmStart>,
+    ) -> TrainingOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let candidates = all_candidates(collective, space);
@@ -351,6 +434,38 @@ impl ActiveLearner {
         let mut collected: Vec<TrainingSample> = Vec::new();
         let mut stats = CollectionStats::default();
         let mut injector = cfg.nonp2_every.map(NonP2Injector::new);
+
+        // Warm start: store-provided rows enter the training set before
+        // any benchmark runs, at zero collection cost. Priors go first
+        // so persistence layers can slice them off `collected` by count
+        // (`fit_incremental` is append-only, so order is fixed here for
+        // the run's lifetime). Only exact rows whose candidate exists in
+        // the current pool retire it; priors and non-P2 rows are model
+        // evidence only. The whole block is a no-op when `warm` is
+        // `None`, keeping cold runs bit-identical.
+        let warm = warm.filter(|w| !w.is_empty());
+        let mut reused_points = 0usize;
+        let mut prior_points = 0usize;
+        if let Some(w) = warm {
+            let pool: HashSet<Candidate> = candidates.iter().copied().collect();
+            for s in &w.priors {
+                collected.push(*s);
+                prior_points += 1;
+            }
+            for s in &w.exact {
+                let c = Candidate {
+                    point: s.point,
+                    algorithm: s.algorithm,
+                };
+                collected.push(*s);
+                reused_points += 1;
+                if pool.contains(&c) {
+                    collected_set.insert(c);
+                }
+            }
+            obs.counter("store.points_reused").add(reused_points as u64);
+            obs.counter("store.prior_points").add(prior_points as u64);
+        }
 
         // Fault-tolerant collection state. `fault_rt` is `None` when the
         // policy injects nothing, and every fault-path branch below is
@@ -426,6 +541,13 @@ impl ActiveLearner {
         {
             let mut seed_span = obs.span("learner", "seed");
             let mut pending = seed_points;
+            // A warm start replaces the cold bootstrap: corners already
+            // covered by trusted rows are not re-measured. (Gated so the
+            // cold path is untouched, though the filter would be inert
+            // there anyway — `collected_set` starts empty.)
+            if warm.is_some() {
+                pending.retain(|c| !collected_set.contains(c));
+            }
             if obs.is_enabled() {
                 seed_span.set_attr("points", pending.len() as u64);
             }
@@ -849,6 +971,8 @@ impl ActiveLearner {
             model_update_wall_us,
             faults,
             fault_events,
+            reused_points,
+            prior_points,
         }
     }
 }

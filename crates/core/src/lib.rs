@@ -15,6 +15,13 @@
 //!   the prior-art baselines expressible as selection policies;
 //! * [`baselines`] — the Hunold et al. per-algorithm-forest baseline;
 //! * [`acclaim`] — the end-to-end job pipeline (train → file → run).
+//!
+//! Cross-job persistence (caching converged models and measurements
+//! between runs) lives one layer up in `acclaim-store`; this crate only
+//! exposes the warm-start hooks ([`learner::WarmStart`],
+//! [`Acclaim::tune_with_warm`]) it plugs into.
+
+#![warn(missing_docs)]
 
 pub mod acclaim;
 pub mod baselines;
@@ -33,7 +40,7 @@ pub use collector::{
 pub use convergence::{SlowdownThreshold, VarianceConvergence};
 pub use learner::{
     ActiveLearner, CollectionStrategy, CriterionConfig, IterationRecord, LearnerConfig,
-    SelectionPolicy, TrainingOutcome,
+    SelectionPolicy, TrainingOutcome, WarmStart,
 };
 pub use model::{PerfModel, TrainingSample};
 pub use rules::{generate_rules, CollectiveRules, Rule, RuleSet, TunedSelector, TuningFile};

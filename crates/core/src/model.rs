@@ -39,7 +39,13 @@ pub struct TrainingSample {
 /// [`PerfModel::fit_incremental`] can append freshly collected samples
 /// and warm-start the forest refit ([`RandomForest::refit_incremental`])
 /// instead of rebuilding every tree from scratch.
-#[derive(Debug, Clone)]
+///
+/// The model is serializable (forest, feature matrix, and targets
+/// included) so a converged snapshot can be persisted by the tuning
+/// store and reloaded in a later job. JSON round-trips are exact: the
+/// vendored `serde_json` prints `f64`s in shortest-roundtrip form, so a
+/// reloaded model predicts bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfModel {
     collective: Collective,
     forest: RandomForest,

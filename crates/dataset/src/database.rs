@@ -66,6 +66,27 @@ impl DatasetConfig {
         }
     }
 
+    /// Stable fingerprint of the measurement *environment*: everything
+    /// that changes what a benchmark would report except the job's
+    /// allocation and the feature space — network parameters, placement
+    /// factors, microbenchmark iteration policy, noise model, and the
+    /// noise seed. Two databases with equal environment fingerprints
+    /// produce bit-identical samples at any common (algorithm, point),
+    /// which is what lets the persistent tuning store trust cached
+    /// measurements across jobs; any mismatch invalidates the cache.
+    pub fn environment_fingerprint(&self) -> u64 {
+        let mut f = acclaim_netsim::Fingerprint::new();
+        f.write_u64(self.cluster.params_fingerprint());
+        f.write_u32(self.bench.warmup);
+        f.write_u32(self.bench.iterations_small);
+        f.write_u32(self.bench.iterations_large);
+        f.write_u64(self.bench.large_threshold);
+        f.write_f64(self.bench.launch_overhead_us);
+        f.write_u64(self.noise.fingerprint());
+        f.write_u64(self.seed);
+        f.finish()
+    }
+
     /// A fast, tiny environment for unit tests.
     pub fn tiny() -> Self {
         let cluster = Cluster::bebop_like();

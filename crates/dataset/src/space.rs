@@ -164,6 +164,26 @@ impl FeatureSpace {
         *self.nodes.last().expect("non-empty axis")
     }
 
+    /// Stable fingerprint of the grid axes (order-independent by
+    /// construction: [`FeatureSpace::new`] sorts and deduplicates).
+    /// Part of the persistent tuning store's cluster signature.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = acclaim_netsim::Fingerprint::new();
+        f.write_u64(self.nodes.len() as u64);
+        for &n in &self.nodes {
+            f.write_u32(n);
+        }
+        f.write_u64(self.ppns.len() as u64);
+        for &p in &self.ppns {
+            f.write_u32(p);
+        }
+        f.write_u64(self.msg_sizes.len() as u64);
+        for &m in &self.msg_sizes {
+            f.write_u64(m);
+        }
+        f.finish()
+    }
+
     /// The grid's message-size neighbors around `msg`: the largest grid
     /// size below and smallest above (used for ACCLAiM's non-P2
     /// sampling window and for rule midpoints).

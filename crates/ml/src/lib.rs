@@ -9,6 +9,8 @@
 //! prediction access ([`forest`]), the jackknife ([`jackknife`]), and
 //! the evaluation metrics including *average slowdown* ([`metrics`]).
 
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod forest;
 pub mod jackknife;

@@ -206,7 +206,8 @@ type Cond = (usize, f64, f64);
 /// The part of feature space where a refit tree's predictions may
 /// differ from the pre-refit tree's.
 ///
-/// A union of axis-aligned boxes (conjunctions of [`Cond`]s), collected
+/// A union of axis-aligned boxes (conjunctions of `(feature, lo, hi)`
+/// conditions), collected
 /// while [`DecisionTree::refit_appended`] walks the new sample's path:
 /// the box delimiting each rebuilt subtree, plus — when a reused split
 /// kept its partition but moved its threshold — the band between the old

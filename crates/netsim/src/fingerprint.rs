@@ -1,0 +1,230 @@
+//! Stable 64-bit fingerprints for cluster configuration.
+//!
+//! The persistent tuning store (`acclaim-store`) keys cached
+//! measurements and models by a *cluster signature*; the components
+//! contributed by this crate — network parameters, noise model, fault
+//! preset — are hashed here. The hash must be stable across runs,
+//! processes, and machines, so the implementation is a fixed FNV-1a
+//! over the raw field bits rather than `std::hash` (whose `Hasher`
+//! choice and seeding are unspecified) or a serialized text form
+//! (whose formatting could drift).
+//!
+//! Floats are hashed by their IEEE-754 bit patterns: two parameter sets
+//! compare equal under a fingerprint exactly when every field is
+//! bit-identical, which is the store's invalidation criterion — any
+//! parameter drift must read as a different machine.
+
+use crate::cluster::Cluster;
+use crate::fault::FaultModel;
+use crate::noise::NoiseModel;
+use crate::params::NetworkParams;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+
+/// A streaming FNV-1a hasher producing stable 64-bit fingerprints.
+///
+/// ```
+/// use acclaim_netsim::fingerprint::Fingerprint;
+///
+/// let mut f = Fingerprint::new();
+/// f.write_u64(42);
+/// f.write_f64(1.5);
+/// let a = f.finish();
+/// // Same inputs, same fingerprint — on any machine, any run.
+/// let mut g = Fingerprint::new();
+/// g.write_u64(42);
+/// g.write_f64(1.5);
+/// assert_eq!(a, g.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u32` (little-endian bytes).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` by its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a string (length-prefixed so concatenations can't collide).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The fingerprint of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.write_bytes(bytes);
+    f.finish()
+}
+
+impl NetworkParams {
+    /// Stable fingerprint over every network parameter. Any bit-level
+    /// change to any field yields a different value — the tuning
+    /// store's invalidation signal for cached measurements.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        for &l in &self.latency_us {
+            f.write_f64(l);
+        }
+        f.write_f64(self.mem_bandwidth);
+        f.write_f64(self.nic_bandwidth);
+        f.write_f64(self.rack_uplink_bandwidth);
+        f.write_f64(self.global_link_bandwidth);
+        f.write_f64(self.cpu_overhead_us);
+        f.write_f64(self.reduce_bandwidth);
+        f.write_u64(self.packet_bytes);
+        f.write_f64(self.unaligned_penalty);
+        f.write_f64(self.unaligned_latency_us);
+        f.write_u64(self.alignment_bytes);
+        f.write_f64(self.nonp2_size_penalty);
+        f.finish()
+    }
+}
+
+impl NoiseModel {
+    /// Stable fingerprint over the noise parameters.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_f64(self.sigma);
+        f.write_f64(self.spike_probability);
+        f.write_f64(self.spike_factor);
+        f.finish()
+    }
+}
+
+impl FaultModel {
+    /// Stable fingerprint over the fault preset, including any
+    /// scheduled node hard-failures.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_f64(self.failure_probability);
+        f.write_f64(self.straggler_probability);
+        f.write_f64(self.straggler_factor);
+        f.write_u64(self.node_failures.len() as u64);
+        for nf in &self.node_failures {
+            f.write_u32(nf.node);
+            f.write_f64(nf.onset_us);
+        }
+        f.finish()
+    }
+}
+
+impl Cluster {
+    /// Stable fingerprint of the machine-wide performance environment:
+    /// network parameters, placement latency factor, and background
+    /// utilization. The topology shape and the job's allocation are
+    /// deliberately *excluded* — they are separate axes of the tuning
+    /// store's signature (topology shape matches exactly; allocation
+    /// size participates in near-key matching).
+    pub fn params_fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_u64(self.params.fingerprint());
+        f.write_f64(self.job_latency_factor);
+        f.write_f64(self.background_global_utilization);
+        f.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_constants() {
+        // Golden values: these must never change across releases, or
+        // every persisted store entry would silently invalidate.
+        assert_eq!(stable_hash64(b""), FNV_OFFSET);
+        // FNV-1a of "a": (offset ^ 0x61) * prime.
+        assert_eq!(
+            stable_hash64(b"a"),
+            (FNV_OFFSET ^ 0x61).wrapping_mul(FNV_PRIME)
+        );
+        let mut f = Fingerprint::new();
+        f.write_u64(1);
+        let one = f.finish();
+        let mut g = Fingerprint::new();
+        g.write_u64(1);
+        assert_eq!(one, g.finish());
+    }
+
+    #[test]
+    fn params_fingerprint_detects_any_field_change() {
+        let base = NetworkParams::bebop_like();
+        let fp = base.fingerprint();
+        assert_eq!(fp, NetworkParams::bebop_like().fingerprint());
+        let mut p = base.clone();
+        p.nic_bandwidth += 1e-9;
+        assert_ne!(fp, p.fingerprint());
+        let mut p = base.clone();
+        p.latency_us[3] *= 1.0 + 1e-12;
+        assert_ne!(fp, p.fingerprint());
+        assert_ne!(
+            NetworkParams::bebop_like().fingerprint(),
+            NetworkParams::theta_like().fingerprint()
+        );
+    }
+
+    #[test]
+    fn cluster_fingerprint_ignores_allocation_but_not_placement() {
+        let a = Cluster::bebop_like();
+        let mut b = a.clone();
+        b.allocation = crate::topology::Allocation::contiguous(&a.topology, 8);
+        assert_eq!(a.params_fingerprint(), b.params_fingerprint());
+        let mut c = a.clone();
+        c.job_latency_factor = 2.0;
+        assert_ne!(a.params_fingerprint(), c.params_fingerprint());
+    }
+
+    #[test]
+    fn fault_fingerprint_distinguishes_presets() {
+        assert_ne!(
+            FaultModel::none().fingerprint(),
+            FaultModel::production().fingerprint()
+        );
+        assert_ne!(
+            FaultModel::none().fingerprint(),
+            FaultModel::none().with_node_failure(3, 1e6).fingerprint()
+        );
+    }
+}

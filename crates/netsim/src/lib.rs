@@ -25,6 +25,7 @@
 pub mod cluster;
 pub mod des;
 pub mod fault;
+pub mod fingerprint;
 pub mod noise;
 pub mod params;
 pub mod roundsim;
@@ -34,6 +35,7 @@ pub mod topology;
 pub use cluster::Cluster;
 pub use des::FlowSim;
 pub use fault::{BenchFault, FaultModel, NodeFailure};
+pub use fingerprint::{stable_hash64, Fingerprint};
 pub use noise::NoiseModel;
 pub use params::NetworkParams;
 pub use roundsim::RoundSim;

@@ -1,0 +1,218 @@
+//! Cluster signatures: the store's content-addressing key.
+//!
+//! A [`ClusterSignature`] captures everything that determines whether a
+//! cached measurement can be trusted in a new job: the machine's shape,
+//! a fingerprint of its performance environment (network parameters,
+//! placement factors, benchmark policy, noise model and seed), the
+//! feature-space axes the model was trained over, the collective, and
+//! the fault-injection preset. Two signatures relate in one of three
+//! ways ([`Compatibility`]):
+//!
+//! * **Exact** — every component matches. Cached measurements are
+//!   bit-identical to what a fresh benchmark would report, so they are
+//!   trusted as-is.
+//! * **Near** — same machine, environment, message axis, collective,
+//!   and fault preset, but different node/ppn axes (a differently
+//!   shaped job on the same cluster). Measurements are still
+//!   informative but cover a shifted grid, so they are re-weighted into
+//!   priors and never trusted as exact.
+//! * **Incompatible** — anything else, most importantly a
+//!   `params_hash` mismatch: any drift in the network parameters
+//!   invalidates the cache entirely.
+
+use acclaim_collectives::Collective;
+use acclaim_core::CollectionPolicy;
+use acclaim_dataset::{DatasetConfig, FeatureSpace};
+use acclaim_netsim::Fingerprint;
+use serde::{Deserialize, Serialize};
+
+/// The identity of a tuning context — the store's lookup key.
+///
+/// Build one with [`ClusterSignature::new`] from the same inputs a
+/// tuning run uses; the store addresses entries by [`ClusterSignature::key`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSignature {
+    /// Machine shape: `(nodes_per_rack, num_racks)`.
+    pub topology: (u32, u32),
+    /// Fingerprint of the measurement environment
+    /// ([`DatasetConfig::environment_fingerprint`]): network parameters,
+    /// placement factors, benchmark iteration policy, noise model and
+    /// seed. A mismatch here invalidates an entry outright.
+    pub params_hash: u64,
+    /// Node-count axis of the trained feature space.
+    pub nodes: Vec<u32>,
+    /// Processes-per-node axis of the trained feature space.
+    pub ppns: Vec<u32>,
+    /// Message-size axis of the trained feature space (bytes).
+    pub msgs: Vec<u64>,
+    /// The collective the cached model selects algorithms for.
+    pub collective: Collective,
+    /// Fingerprint of the fault-injection preset the measurements were
+    /// collected under ([`acclaim_netsim::FaultModel::fingerprint`]).
+    pub faults_hash: u64,
+}
+
+/// How two signatures relate — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Compatibility {
+    /// Identical signature: cached measurements are trusted as exact.
+    Exact,
+    /// Same machine and environment, different node/ppn axes: cached
+    /// measurements become priors, deweighted by the contained factor
+    /// in `(0, 1)` (the product of the per-axis Jaccard overlaps,
+    /// floored at 0.1 so a disjoint-axis neighbor still contributes a
+    /// trickle of hull-bounding evidence).
+    Near(f64),
+    /// Different machine, environment, message axis, collective, or
+    /// fault preset: the entry must not be reused at all.
+    Incompatible,
+}
+
+/// Jaccard overlap of two sorted, deduplicated axes.
+fn jaccard<T: Ord + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Floor for the near-match prior weight: even disjoint node/ppn axes
+/// on the same machine keep a 10% prior, enough to bound the forest's
+/// convex hull without drowning out fresh measurements.
+pub const NEAR_WEIGHT_FLOOR: f64 = 0.1;
+
+impl ClusterSignature {
+    /// The signature of a tuning run: the database's environment, the
+    /// feature space being trained over, the collective, and the
+    /// learner's fault-collection policy.
+    pub fn new(
+        config: &DatasetConfig,
+        space: &FeatureSpace,
+        collective: Collective,
+        collection: &CollectionPolicy,
+    ) -> Self {
+        ClusterSignature {
+            topology: (
+                config.cluster.topology.nodes_per_rack,
+                config.cluster.topology.num_racks,
+            ),
+            params_hash: config.environment_fingerprint(),
+            nodes: space.nodes.clone(),
+            ppns: space.ppns.clone(),
+            msgs: space.msg_sizes.clone(),
+            collective,
+            faults_hash: collection.faults.fingerprint(),
+        }
+    }
+
+    /// The content address: 16 lowercase hex digits of a stable hash
+    /// over every component. Equal signatures always produce equal
+    /// keys, on any machine and in any process.
+    pub fn key(&self) -> String {
+        let mut f = Fingerprint::new();
+        f.write_u32(self.topology.0);
+        f.write_u32(self.topology.1);
+        f.write_u64(self.params_hash);
+        f.write_u64(self.nodes.len() as u64);
+        for &n in &self.nodes {
+            f.write_u32(n);
+        }
+        f.write_u64(self.ppns.len() as u64);
+        for &p in &self.ppns {
+            f.write_u32(p);
+        }
+        f.write_u64(self.msgs.len() as u64);
+        for &m in &self.msgs {
+            f.write_u64(m);
+        }
+        f.write_str(self.collective.name());
+        f.write_u64(self.faults_hash);
+        format!("{:016x}", f.finish())
+    }
+
+    /// Classify `other` (a stored entry's signature) against `self`
+    /// (the current run). See [`Compatibility`].
+    pub fn compatibility(&self, other: &ClusterSignature) -> Compatibility {
+        if self == other {
+            return Compatibility::Exact;
+        }
+        let same_context = self.topology == other.topology
+            && self.params_hash == other.params_hash
+            && self.msgs == other.msgs
+            && self.collective == other.collective
+            && self.faults_hash == other.faults_hash;
+        if !same_context {
+            return Compatibility::Incompatible;
+        }
+        let w = jaccard(&self.nodes, &other.nodes) * jaccard(&self.ppns, &other.ppns);
+        Compatibility::Near(w.clamp(NEAR_WEIGHT_FLOOR, 1.0 - f64::EPSILON))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_netsim::FaultModel;
+
+    fn sig() -> ClusterSignature {
+        ClusterSignature::new(
+            &DatasetConfig::tiny(),
+            &FeatureSpace::tiny(),
+            Collective::Bcast,
+            &CollectionPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn equal_signatures_are_exact_and_share_a_key() {
+        let a = sig();
+        let b = sig();
+        assert_eq!(a.compatibility(&b), Compatibility::Exact);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.key().len(), 16);
+    }
+
+    #[test]
+    fn shifted_node_axis_is_near_with_a_fractional_weight() {
+        let a = sig();
+        let mut b = sig();
+        b.nodes = vec![2, 4]; // tiny() axes contain more
+        match a.compatibility(&b) {
+            Compatibility::Near(w) => assert!((NEAR_WEIGHT_FLOOR..1.0).contains(&w)),
+            other => panic!("expected Near, got {other:?}"),
+        }
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn params_or_fault_drift_is_incompatible() {
+        let a = sig();
+        let mut b = sig();
+        b.params_hash ^= 1;
+        assert_eq!(a.compatibility(&b), Compatibility::Incompatible);
+        let mut c = sig();
+        c.faults_hash = FaultModel::production().fingerprint();
+        assert_eq!(a.compatibility(&c), Compatibility::Incompatible);
+        let mut d = sig();
+        d.collective = Collective::Reduce;
+        assert_eq!(a.compatibility(&d), Compatibility::Incompatible);
+    }
+
+    #[test]
+    fn jaccard_math() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_roundtrips_through_json() {
+        let a = sig();
+        let text = serde_json::to_string(&a).unwrap();
+        let b: ClusterSignature = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,301 @@
+//! The on-disk store: one JSON file per entry, addressed by signature.
+//!
+//! Layout: `<root>/<key>.json`, where `<key>` is
+//! [`ClusterSignature::key`] — 16 hex digits of a stable hash over the
+//! signature. Each file holds a complete [`StoreEntry`]: the signature
+//! it was collected under, every raw measurement, the converged forest
+//! snapshot, and the emitted rule table. JSON round-trips are exact
+//! (the vendored `serde_json` prints floats in shortest-roundtrip
+//! form), so a reloaded forest predicts bit-identically — verified by
+//! the `warm_start` integration test.
+
+use crate::signature::{ClusterSignature, Compatibility};
+use acclaim_core::{CollectiveRules, PerfModel, TrainingSample};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Entry schema version; bumped on any incompatible layout change.
+/// [`TuningStore::gc`] drops entries from other versions.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Everything the store keeps for one converged tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// Schema version this entry was written under.
+    pub version: u32,
+    /// The signature the measurements were collected under.
+    pub signature: ClusterSignature,
+    /// Raw microbenchmark measurements, in collection order. Foreign
+    /// prior rows from a near-key warm start are excluded — every row
+    /// here was measured (or trusted as exact) under `signature`.
+    pub samples: Vec<TrainingSample>,
+    /// The converged forest snapshot.
+    pub model: PerfModel,
+    /// The emitted rule table for the signature's collective.
+    pub rules: CollectiveRules,
+    /// Iterations the producing run took (for cold-vs-warm accounting).
+    pub iterations: usize,
+    /// Simulated machine time the producing run spent collecting (µs).
+    pub collection_wall_us: f64,
+}
+
+impl StoreEntry {
+    /// The entry's content address ([`ClusterSignature::key`]).
+    pub fn key(&self) -> String {
+        self.signature.key()
+    }
+}
+
+/// One line of [`TuningStore::summaries`] — an entry without its bulk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSummary {
+    /// Content address of the entry.
+    pub key: String,
+    /// MPI-style collective name.
+    pub collective: String,
+    /// Number of cached measurements.
+    pub points: usize,
+    /// Iterations the producing run took.
+    pub iterations: usize,
+    /// Simulated collection time of the producing run (µs).
+    pub collection_wall_us: f64,
+    /// The signature's node axis (human-readable context).
+    pub nodes: Vec<u32>,
+    /// The signature's ppn axis.
+    pub ppns: Vec<u32>,
+}
+
+/// What [`TuningStore::probe`] found for a signature.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    /// An entry whose signature matches exactly.
+    pub exact: Option<StoreEntry>,
+    /// The best near-compatible entry and its prior weight, when no
+    /// exact entry exists.
+    pub near: Option<(StoreEntry, f64)>,
+}
+
+impl Probe {
+    /// Whether the probe found anything usable.
+    pub fn is_hit(&self) -> bool {
+        self.exact.is_some() || self.near.is_some()
+    }
+}
+
+/// Result of a [`TuningStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries that parsed cleanly and were kept.
+    pub kept: usize,
+    /// Files removed: unparseable, wrong schema version, or stored
+    /// under a filename that does not match their signature's key.
+    pub removed: usize,
+}
+
+/// Result of a [`TuningStore::import`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Entries written (keys that were not already present).
+    pub imported: usize,
+    /// Entries skipped because their key already existed.
+    pub skipped: usize,
+}
+
+/// A persistent, content-addressed tuning store rooted at a directory.
+///
+/// ```
+/// use acclaim_store::TuningStore;
+///
+/// let dir = std::env::temp_dir().join("acclaim-store-doc-open");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// let store = TuningStore::open(&dir).unwrap();
+/// assert!(store.keys().unwrap().is_empty());
+/// // Corrupt files are reclaimed by gc, not served by get.
+/// std::fs::write(store.root().join("deadbeefdeadbeef.json"), "not json").unwrap();
+/// assert!(store.get("deadbeefdeadbeef").unwrap().is_none());
+/// let report = store.gc().unwrap();
+/// assert_eq!((report.kept, report.removed), (0, 1));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct TuningStore {
+    root: PathBuf,
+}
+
+impl TuningStore {
+    /// Open (creating if necessary) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let root = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(TuningStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.json"))
+    }
+
+    /// Write (or overwrite) an entry at its content address; returns
+    /// the key. The write is atomic-ish: a temp file renamed into
+    /// place, so a crashed writer never leaves a half-entry behind.
+    pub fn put(&self, entry: &StoreEntry) -> io::Result<String> {
+        let key = entry.key();
+        let text = serde_json::to_string(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self.root.join(format!("{key}.json.tmp"));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.path_for(&key))?;
+        Ok(key)
+    }
+
+    /// Load the entry at `key`, if present and readable. Entries from a
+    /// different schema version read as absent (use [`TuningStore::gc`]
+    /// to reclaim them).
+    pub fn get(&self, key: &str) -> io::Result<Option<StoreEntry>> {
+        let path = self.path_for(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(parse_entry(&text))
+    }
+
+    /// All keys currently stored, sorted.
+    pub fn keys(&self) -> io::Result<Vec<String>> {
+        let mut keys = Vec::new();
+        for f in std::fs::read_dir(&self.root)? {
+            let name = f?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".json") {
+                keys.push(stem.to_string());
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    /// One [`StoreSummary`] per readable entry, sorted by key.
+    pub fn summaries(&self) -> io::Result<Vec<StoreSummary>> {
+        let mut out = Vec::new();
+        for key in self.keys()? {
+            if let Some(e) = self.get(&key)? {
+                out.push(StoreSummary {
+                    key,
+                    collective: e.signature.collective.name().to_string(),
+                    points: e.samples.len(),
+                    iterations: e.iterations,
+                    collection_wall_us: e.collection_wall_us,
+                    nodes: e.signature.nodes,
+                    ppns: e.signature.ppns,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Find reusable prior work for `sig`: the exact entry if one
+    /// exists, else the highest-weight near-compatible entry.
+    /// Incompatible entries — params-hash drift above all — are never
+    /// returned.
+    pub fn probe(&self, sig: &ClusterSignature) -> io::Result<Probe> {
+        // The exact entry is a direct O(1) lookup at the key.
+        if let Some(e) = self.get(&sig.key())? {
+            if sig.compatibility(&e.signature) == Compatibility::Exact {
+                return Ok(Probe {
+                    exact: Some(e),
+                    near: None,
+                });
+            }
+        }
+        // Near matches require a scan; keep the best weight.
+        let mut best: Option<(StoreEntry, f64)> = None;
+        for key in self.keys()? {
+            if let Some(e) = self.get(&key)? {
+                if let Compatibility::Near(w) = sig.compatibility(&e.signature) {
+                    if best.as_ref().is_none_or(|(_, bw)| w > *bw) {
+                        best = Some((e, w));
+                    }
+                }
+            }
+        }
+        Ok(Probe {
+            exact: None,
+            near: best,
+        })
+    }
+
+    /// Sweep the store: drop files that fail to parse, carry a foreign
+    /// schema version, or sit at a filename that does not match their
+    /// signature's key.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for key in self.keys()? {
+            let path = self.path_for(&key);
+            let keep = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| parse_entry(&t))
+                .is_some_and(|e| e.key() == key);
+            if keep {
+                report.kept += 1;
+            } else {
+                std::fs::remove_file(&path)?;
+                report.removed += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Export every readable entry into a single JSON file at `path`
+    /// (a JSON array of entries); returns how many were written.
+    pub fn export(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut entries = Vec::new();
+        for key in self.keys()? {
+            if let Some(e) = self.get(&key)? {
+                entries.push(e);
+            }
+        }
+        let text = serde_json::to_string(&entries)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)?;
+        Ok(entries.len())
+    }
+
+    /// Merge entries from an [`TuningStore::export`] file into this
+    /// store. Keys already present are left untouched (the local entry
+    /// wins); entries with a foreign schema version are skipped.
+    pub fn import(&self, path: impl AsRef<Path>) -> io::Result<ImportReport> {
+        let text = std::fs::read_to_string(path)?;
+        let entries: Vec<serde_json::Value> = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut report = ImportReport::default();
+        let existing = self.keys()?;
+        for v in entries {
+            let text = serde_json::to_string(&v)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let Some(entry) = parse_entry(&text) else {
+                report.skipped += 1;
+                continue;
+            };
+            if existing.contains(&entry.key()) {
+                report.skipped += 1;
+            } else {
+                self.put(&entry)?;
+                report.imported += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Parse an entry, treating malformed text or a foreign schema version
+/// as absent.
+fn parse_entry(text: &str) -> Option<StoreEntry> {
+    let entry: StoreEntry = serde_json::from_str(text).ok()?;
+    (entry.version == STORE_SCHEMA_VERSION).then_some(entry)
+}

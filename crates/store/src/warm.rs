@@ -1,0 +1,161 @@
+//! Store-backed tuning: probe → warm-start → train → write back.
+//!
+//! [`tune_with_store`] wraps [`Acclaim::tune_with_warm`]: before each
+//! collective trains, the store is probed for compatible prior work and
+//! the hit is turned into a [`WarmStart`]; after the job's models
+//! converge, the fresh artifacts are written back under the current
+//! signature. The warm-start math:
+//!
+//! * An **exact** hit injects every cached measurement as a trusted
+//!   row: zero collection cost, candidates retired from the selection
+//!   pool, the forest warm-refits on them, and active learning runs
+//!   only until the residual variance plateaus.
+//! * A **near** hit (same machine, different node/ppn axes) deweights
+//!   the cached rows by the signature overlap `w` (Jaccard product of
+//!   the node and ppn axes): each row survives into the prior with
+//!   probability `w`, decided by a stable per-row hash — deterministic,
+//!   seed-independent, machine-independent. Prior rows inform the
+//!   forest but never retire a candidate, so the learner is free to
+//!   re-measure them; fresh rows then outvote the priors.
+//!
+//! Counters (all under `store.` on the run's [`Obs`]): `hits`,
+//! `exact_hits`, `near_hits`, `misses`, `points_reused`,
+//! `prior_points`, `entries_written`, and the cold-vs-warm convergence
+//! split `cold_iterations` / `warm_iterations`.
+
+use crate::signature::ClusterSignature;
+use crate::store::{StoreEntry, TuningStore, STORE_SCHEMA_VERSION};
+use acclaim_collectives::Collective;
+use acclaim_core::{Acclaim, AcclaimConfig, JobTuning, TrainingSample, WarmStart};
+use acclaim_dataset::BenchmarkDatabase;
+use acclaim_netsim::Fingerprint;
+use acclaim_obs::Obs;
+use std::collections::HashMap;
+use std::io;
+
+/// Deterministically thin `samples` to a fraction `w`: row `s` survives
+/// iff `hash(s) / 2^64 < w`. The decision depends only on the row
+/// itself, so the same prior set is selected on every machine and under
+/// every learner seed.
+fn thin_priors(samples: &[TrainingSample], w: f64) -> Vec<TrainingSample> {
+    let threshold = (w.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    samples
+        .iter()
+        .filter(|s| {
+            let mut f = Fingerprint::new();
+            f.write_u32(s.point.nodes);
+            f.write_u32(s.point.ppn);
+            f.write_u64(s.point.msg_bytes);
+            f.write_str(s.algorithm.name());
+            f.write_f64(s.time_us);
+            f.finish() <= threshold
+        })
+        .copied()
+        .collect()
+}
+
+/// Tune `collectives` with warm starts probed from `store`, then write
+/// the converged measurements, forest, and rules back.
+///
+/// Behaviorally this is [`Acclaim::tune_with_obs`] plus persistence:
+/// the underlying learner, convergence rule, and rule generation are
+/// untouched, and a probe that misses leaves the run bit-identical to
+/// a store-less tune. I/O errors surface as `Err`; a hit that fails to
+/// parse is treated as a miss (and can be reclaimed with
+/// [`TuningStore::gc`]).
+pub fn tune_with_store(
+    store: &TuningStore,
+    config: &AcclaimConfig,
+    db: &BenchmarkDatabase,
+    collectives: &[Collective],
+    obs: &Obs,
+) -> io::Result<JobTuning> {
+    let m_hits = obs.counter("store.hits");
+    let m_exact = obs.counter("store.exact_hits");
+    let m_near = obs.counter("store.near_hits");
+    let m_misses = obs.counter("store.misses");
+    let m_written = obs.counter("store.entries_written");
+
+    // Probe every collective up front (I/O, fallible), then hand the
+    // results to the infallible training pipeline.
+    let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
+    let mut signatures: HashMap<Collective, ClusterSignature> = HashMap::new();
+    for &c in collectives {
+        let sig = ClusterSignature::new(db.config(), &config.space, c, &config.learner.collection);
+        let probe = store.probe(&sig)?;
+        if let Some(e) = probe.exact {
+            m_hits.incr();
+            m_exact.incr();
+            warms.insert(c, WarmStart::from_exact(e.samples));
+        } else if let Some((e, w)) = probe.near {
+            m_hits.incr();
+            m_near.incr();
+            warms.insert(c, WarmStart::from_priors(thin_priors(&e.samples, w)));
+        } else {
+            m_misses.incr();
+        }
+        signatures.insert(c, sig);
+    }
+
+    let tuning = Acclaim::new(config.clone()).tune_with_warm(db, collectives, obs, |c| {
+        warms.get(&c).cloned()
+    });
+
+    // Write back. Rows are stored under the *current* signature, so
+    // foreign prior rows (the first `prior_points` of `collected`) are
+    // sliced off — they belong to the entry they came from.
+    for (i, (c, outcome)) in tuning.reports.iter().enumerate() {
+        let samples = outcome.collected[outcome.prior_points..].to_vec();
+        if samples.is_empty() {
+            continue;
+        }
+        let iters = obs.counter(if warms.contains_key(c) {
+            "store.warm_iterations"
+        } else {
+            "store.cold_iterations"
+        });
+        iters.add(outcome.log.len() as u64);
+        let entry = StoreEntry {
+            version: STORE_SCHEMA_VERSION,
+            signature: signatures[c].clone(),
+            samples,
+            model: outcome.model.clone(),
+            rules: tuning.tuning_file.collectives[i].clone(),
+            iterations: outcome.log.len(),
+            collection_wall_us: outcome.stats.wall_us,
+        };
+        store.put(&entry)?;
+        m_written.incr();
+    }
+    Ok(tuning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(nodes: u32, msg: u64, t: f64) -> TrainingSample {
+        use acclaim_collectives::Collective;
+        TrainingSample {
+            point: acclaim_dataset::Point::new(nodes, 2, msg),
+            algorithm: Collective::Bcast.algorithms()[0],
+            time_us: t,
+        }
+    }
+
+    #[test]
+    fn thinning_is_deterministic_and_monotone_in_weight() {
+        let rows: Vec<_> = (0u32..200)
+            .map(|i| sample(2 + (i % 7), 64u64 << (i % 10), 10.0 + f64::from(i)))
+            .collect();
+        let half = thin_priors(&rows, 0.5);
+        assert_eq!(half, thin_priors(&rows, 0.5), "must be deterministic");
+        assert!(thin_priors(&rows, 1.0).len() == rows.len());
+        assert!(thin_priors(&rows, 0.0).is_empty());
+        let tenth = thin_priors(&rows, 0.1);
+        assert!(tenth.len() < half.len() && half.len() < rows.len());
+        // Lower-weight survivors are a subset of higher-weight ones
+        // (same hash, lower threshold).
+        assert!(tenth.iter().all(|s| half.contains(s)));
+    }
+}

@@ -12,6 +12,10 @@
 //! | [`ml`] | CART trees, random forests, jackknife variance |
 //! | [`dataset`] | feature space, benchmark database, traces |
 //! | [`core`] | the autotuner: selection, convergence, parallel collection, rules |
+//! | [`store`] | persistent cross-job tuning store with warm starts |
+//!
+//! See `ARCHITECTURE.md` in the repository root for the dependency
+//! graph and a walkthrough of one tuning iteration.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,55 @@
 //! let choice = selector.select(Collective::Bcast, Point::new(8, 2, 1024));
 //! assert_eq!(choice.collective(), Collective::Bcast);
 //! ```
+//!
+//! ## Warm-starting across jobs
+//!
+//! Training costs machine time at every job start; the persistent
+//! tuning store amortizes it across jobs. The first tune of a
+//! configuration runs cold and persists its measurements, forest, and
+//! rules; the second probes the store, warm-starts, and converges in
+//! strictly fewer iterations at a fraction of the collection cost:
+//!
+//! ```
+//! use acclaim::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join("acclaim-facade-doc-store");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let store = TuningStore::open(&dir).unwrap();
+//! let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+//! let config = AcclaimConfig::new(FeatureSpace::tiny());
+//!
+//! let obs = Obs::disabled();
+//! let cold = tune_with_store(&store, &config, &db, &[Collective::Reduce], &obs).unwrap();
+//! let warm = tune_with_store(&store, &config, &db, &[Collective::Reduce], &obs).unwrap();
+//!
+//! let (cold, warm) = (&cold.reports[0].1, &warm.reports[0].1);
+//! assert!(warm.log.len() < cold.log.len());
+//! assert!(warm.stats.wall_us < cold.stats.wall_us);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! ## Inspecting a model's selections
+//!
+//! The runtime side — what an MPI library would consult — is a
+//! [`prelude::TunedSelector`] over the generated file:
+//!
+//! ```
+//! use acclaim::prelude::*;
+//!
+//! let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+//! let mut config = AcclaimConfig::new(FeatureSpace::tiny());
+//! config.learner.max_iterations = 8;
+//! let tuning = Acclaim::new(config).tune(&db, &[Collective::Allreduce]);
+//!
+//! // Every context of the emitted file is complete and pruned.
+//! for ctx in &tuning.tuning_file.collectives[0].contexts {
+//!     assert!(ctx.is_complete() && ctx.is_pruned());
+//! }
+//! // Selections answer at any point, trained or not.
+//! let alg = tuning.selector().select(Collective::Allreduce, Point::new(4, 2, 777));
+//! assert_eq!(alg.collective(), Collective::Allreduce);
+//! ```
 
 pub use acclaim_collectives as collectives;
 pub use acclaim_core as core;
@@ -45,6 +98,7 @@ pub use acclaim_dataset as dataset;
 pub use acclaim_ml as ml;
 pub use acclaim_netsim as netsim;
 pub use acclaim_obs as obs;
+pub use acclaim_store as store;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
@@ -56,7 +110,7 @@ pub mod prelude {
         ActiveLearner, Candidate, CollectionPolicy, CollectionStrategy, CriterionConfig,
         FaultEvent, FaultStats, JobTuning, LearnerConfig, PerfModel, RobustAgg,
         SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
-        VarianceConvergence, VarianceScanCache,
+        VarianceConvergence, VarianceScanCache, WarmStart,
     };
     pub use acclaim_dataset::{
         BenchmarkDatabase, DatasetConfig, FeatureSpace, Point, Sample,
@@ -69,4 +123,7 @@ pub mod prelude {
         Allocation, Cluster, FaultModel, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
     };
     pub use acclaim_obs::{Diag, Obs};
+    pub use acclaim_store::{
+        tune_with_store, ClusterSignature, Compatibility, StoreEntry, TuningStore,
+    };
 }
