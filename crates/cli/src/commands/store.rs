@@ -58,10 +58,19 @@ fn ls(store: &TuningStore) -> Result<String, String> {
 fn gc(store: &TuningStore, diag: &Diag) -> Result<String, String> {
     let report = store.gc().map_err(|e| format!("sweeping store: {e}"))?;
     diag.progress(&format!("gc swept {}", store.root().display()));
-    Ok(format!(
-        "gc: kept {} entries, removed {}\n",
+    let mut out = format!(
+        "gc: kept {} entries, removed {}",
         report.kept, report.removed
-    ))
+    );
+    // Race/fault tallies only when something actually raced or failed.
+    if report.skipped > 0 {
+        let _ = write!(out, ", skipped {} (vanished mid-sweep)", report.skipped);
+    }
+    if report.failed > 0 {
+        let _ = write!(out, ", failed {} (left in place)", report.failed);
+    }
+    out.push('\n');
+    Ok(out)
 }
 
 fn export(store: &TuningStore, args: &Args, diag: &Diag) -> Result<String, String> {

@@ -43,9 +43,11 @@ commands:
               [--latency-factor F]
               [--faults none|production] [--max-retries N] [--repeats N]
               [--bench-timeout-factor F] [--robust-agg median|mean]
-              [--store DIR] [--no-store]
+              [--store DIR] [--no-store] [--no-flat]
               (--store warm-starts from and persists to a cross-job
-               tuning store; --no-store wins when both are given)
+               tuning store; --no-store wins when both are given;
+               --no-flat uses pointer-chasing tree traversal for the
+               variance scan instead of the flat SoA engine)
   selections  print the selections of a tuning file (or the defaults)
               [--tuning FILE] --collective NAME --nodes N --ppn N
               [--min-msg B --max-msg B]

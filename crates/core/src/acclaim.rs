@@ -285,6 +285,7 @@ mod tests {
                 max_iterations: 40,
                 seed: 5,
                 incremental: true,
+                flat: true,
                 collection: CollectionPolicy::default(),
             },
             space: FeatureSpace::tiny(),

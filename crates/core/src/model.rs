@@ -129,6 +129,13 @@ impl PerfModel {
         self.forest.n_trees()
     }
 
+    /// The underlying forest — what the flat SoA scan
+    /// ([`acclaim_ml::FlatForest`]) flattens. Predictions are in
+    /// log-time space; see [`PerfModel::tree_log_prediction`].
+    pub fn forest(&self) -> &acclaim_ml::RandomForest {
+        &self.forest
+    }
+
     /// Number of samples the model is currently fitted on.
     pub fn n_samples(&self) -> usize {
         self.y.len()

@@ -12,7 +12,7 @@
 use crate::model::PerfModel;
 use acclaim_collectives::{Algorithm, Collective};
 use acclaim_dataset::{FeatureSpace, Point};
-use acclaim_ml::{jackknife_variance, TreeUpdate};
+use acclaim_ml::{jackknife_variance, FlatForest, TreeUpdate, FLAT_BLOCK_ROWS};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,27 @@ pub fn rank_by_variance(model: &PerfModel, candidates: &[Candidate]) -> Variance
     VarianceRanking { ranked, cumulative }
 }
 
+/// [`rank_by_variance`] through the flat SoA engine: the forest is
+/// flattened once and the fused cache-blocked
+/// [`FlatForest::variance_rows_into`] scan replaces the per-candidate
+/// pointer walk. Bit-identical output — same variances (the fused scan
+/// reuses the exact scalar jackknife accumulation), same sort, same
+/// cumulative sum — just faster; both paths are kept so the `bench`
+/// runner can track the gap.
+pub fn rank_by_variance_flat(model: &PerfModel, candidates: &[Candidate]) -> VarianceRanking {
+    let flat = FlatForest::from_forest(model.forest());
+    let rows: Vec<[f64; 5]> = candidates
+        .iter()
+        .map(|c| model.candidate_features(c.point, c.algorithm))
+        .collect();
+    let mut vars = vec![0.0; rows.len()];
+    flat.variance_rows_into(&rows, &mut vars);
+    let mut ranked: Vec<(Candidate, f64)> = candidates.iter().copied().zip(vars).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let cumulative = ranked.iter().map(|&(_, v)| v).sum();
+    VarianceRanking { ranked, cumulative }
+}
+
 /// A cached candidate-space variance scan — the incremental counterpart
 /// of [`rank_by_variance`].
 ///
@@ -87,18 +108,38 @@ pub struct VarianceScanCache {
     preds: Vec<f64>,
     n_trees: usize,
     filled: bool,
+    /// Evaluate refreshes through the flat SoA engine (bit-identical;
+    /// see [`FlatForest`]).
+    flat: bool,
 }
 
 impl VarianceScanCache {
     /// An empty cache over `candidates`; call
-    /// [`VarianceScanCache::refresh`] before ranking.
+    /// [`VarianceScanCache::refresh`] before ranking. Defaults to the
+    /// pointer-chasing engine; see [`VarianceScanCache::with_flat`].
     pub fn new(candidates: Vec<Candidate>) -> Self {
         VarianceScanCache {
             candidates,
             preds: Vec::new(),
             n_trees: 0,
             filled: false,
+            flat: false,
         }
+    }
+
+    /// Select the refresh engine: `true` flattens the forest into an
+    /// SoA arena at each refresh and evaluates cache-blocked batches
+    /// ([`FlatForest`]); `false` keeps the per-candidate pointer walk.
+    /// Both fill the matrix with identical bits, so rankings and the
+    /// cumulative-variance convergence signal are unaffected.
+    pub fn with_flat(mut self, flat: bool) -> Self {
+        self.flat = flat;
+        self
+    }
+
+    /// Which engine refreshes run through.
+    pub fn is_flat(&self) -> bool {
+        self.flat
     }
 
     /// The candidates currently cached, in row order.
@@ -161,29 +202,59 @@ impl VarianceScanCache {
         }
         let candidates = &self.candidates;
         let recomputed = AtomicUsize::new(0);
-        self.preds
-            .par_chunks_mut(t)
-            .enumerate()
-            .for_each(|(i, row)| {
-                let c = candidates[i];
-                let features = model.candidate_features(c.point, c.algorithm);
-                if full {
-                    for (tree, cell) in row.iter_mut().enumerate() {
-                        *cell = model.tree_log_prediction(tree, &features);
-                    }
-                } else {
+        // The flat arena is rebuilt from the current forest on every
+        // refresh — an O(nodes) copy, negligible next to the
+        // candidates × trees scan it accelerates.
+        let flat = self.flat.then(|| FlatForest::from_forest(model.forest()));
+        if full {
+            if let Some(flat) = &flat {
+                // Tree-major cache-blocked fill: parallel over row
+                // blocks, each block streamed through the SoA arena.
+                self.preds
+                    .par_chunks_mut(FLAT_BLOCK_ROWS * t)
+                    .enumerate()
+                    .for_each(|(b, block)| {
+                        let start = b * FLAT_BLOCK_ROWS;
+                        let rows: Vec<[f64; 5]> = candidates[start..start + block.len() / t]
+                            .iter()
+                            .map(|c| model.candidate_features(c.point, c.algorithm))
+                            .collect();
+                        flat.predict_rows_into(&rows, block);
+                    });
+            } else {
+                self.preds
+                    .par_chunks_mut(t)
+                    .enumerate()
+                    .for_each(|(i, row)| {
+                        let c = candidates[i];
+                        let features = model.candidate_features(c.point, c.algorithm);
+                        for (tree, cell) in row.iter_mut().enumerate() {
+                            *cell = model.tree_log_prediction(tree, &features);
+                        }
+                    });
+            }
+        } else {
+            self.preds
+                .par_chunks_mut(t)
+                .enumerate()
+                .for_each(|(i, row)| {
+                    let c = candidates[i];
+                    let features = model.candidate_features(c.point, c.algorithm);
                     let mut row_hits = 0usize;
                     for u in changed {
                         if u.dirty.contains(&features) {
-                            row[u.tree] = model.tree_log_prediction(u.tree, &features);
+                            row[u.tree] = match &flat {
+                                Some(f) => f.tree_predict(u.tree, &features),
+                                None => model.tree_log_prediction(u.tree, &features),
+                            };
                             row_hits += 1;
                         }
                     }
                     if row_hits > 0 {
                         recomputed.fetch_add(row_hits, Ordering::Relaxed);
                     }
-                }
-            });
+                });
+        }
         self.n_trees = t;
         self.filled = true;
         RefreshStats {
@@ -367,6 +438,48 @@ mod tests {
             let cold = rank_by_variance(&model, cache.candidates());
             assert_eq!(cached, cold, "cache diverged at n={upto}");
         }
+    }
+
+    #[test]
+    fn flat_engine_matches_pointer_engine_bit_for_bit() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let space = FeatureSpace::tiny();
+        let cfg = ForestConfig {
+            n_trees: 24,
+            ..ForestConfig::default()
+        };
+        let all: Vec<TrainingSample> = space
+            .points()
+            .into_iter()
+            .flat_map(|p| {
+                Collective::Bcast.algorithms().iter().map(move |&a| (p, a))
+            })
+            .map(|(p, a)| TrainingSample {
+                point: p,
+                algorithm: a,
+                time_us: db.time(a, p),
+            })
+            .collect();
+        let cands = all_candidates(Collective::Bcast, &space);
+        let mut model = PerfModel::fit(Collective::Bcast, &all[..6], &cfg);
+        let mut pointer = VarianceScanCache::new(cands.clone());
+        let mut flat = VarianceScanCache::new(cands.clone()).with_flat(true);
+        assert!(flat.is_flat() && !pointer.is_flat());
+        pointer.refresh(&model, &TreeUpdate::full_refit(cfg.n_trees));
+        flat.refresh(&model, &TreeUpdate::full_refit(cfg.n_trees));
+        assert_eq!(pointer.ranking(), flat.ranking(), "full fill diverged");
+        for upto in 7..=14 {
+            let changed = model.fit_incremental(&all[..upto], &cfg);
+            let sp = pointer.refresh(&model, &changed);
+            let sf = flat.refresh(&model, &changed);
+            assert_eq!(sp, sf, "refresh stats diverged at n={upto}");
+            assert_eq!(pointer.ranking(), flat.ranking(), "diverged at n={upto}");
+        }
+        // The flat cold scan agrees with both.
+        assert_eq!(
+            rank_by_variance(&model, &cands),
+            rank_by_variance_flat(&model, &cands)
+        );
     }
 
     #[test]

@@ -321,6 +321,12 @@ impl RandomForest {
     pub fn n_samples(&self) -> usize {
         self.n_samples
     }
+
+    /// The fitted trees, for crate-internal consumers (the SoA
+    /// [`crate::FlatForest`] flattener).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
 }
 
 #[cfg(test)]

@@ -12,12 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod flat;
 pub mod forest;
 pub mod jackknife;
 pub mod metrics;
 pub mod tree;
 
 pub use data::FeatureMatrix;
+pub use flat::{FlatForest, FLAT_BLOCK_ROWS};
 pub use forest::{bootstrap_weight, BootstrapScheme, ForestConfig, RandomForest, TreeUpdate};
 pub use jackknife::{forest_variance_at, jackknife_variance};
 pub use metrics::{average_slowdown, CONVERGENCE_SLOWDOWN};

@@ -44,20 +44,20 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct Node {
+pub(crate) struct Node {
     /// Split feature, or `usize::MAX` for leaves.
-    feature: usize,
+    pub(crate) feature: usize,
     /// Split threshold (`x[feature] <= threshold` goes left); unused for
     /// leaves.
-    threshold: f64,
+    pub(crate) threshold: f64,
     /// Leaf prediction; unused for split nodes.
-    value: f64,
+    pub(crate) value: f64,
     /// Child indices (left, right); unused for leaves.
-    left: u32,
-    right: u32,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
 }
 
-const LEAF: usize = usize::MAX;
+pub(crate) const LEAF: usize = usize::MAX;
 
 /// A fitted CART regression tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -184,6 +184,12 @@ impl DecisionTree {
     /// Number of nodes (splits + leaves).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node arena, for crate-internal consumers (the SoA
+    /// [`crate::FlatForest`] flattener).
+    pub(crate) fn raw_nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Depth of the deepest leaf.

@@ -9,6 +9,7 @@
 //! simulator on small configurations and for unit/property tests.
 
 use crate::cluster::Cluster;
+use crate::equeue::CalendarQueue;
 use crate::schedule::{MaterializedSchedule, Msg};
 use acclaim_obs::{Counter, Histogram, Obs};
 use std::cmp::Reverse;
@@ -107,13 +108,22 @@ enum Event {
     Delivery(u32),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 struct QueuedEvent {
     time: f64,
     seq: u64,
     event: Event,
 }
 
+// PartialEq is written out (not derived) so equality stays consistent
+// with `Ord`: a derived impl would compare `time` with f64 `==`, which
+// disagrees with `total_cmp` on -0.0/0.0 and NaN — the exact class of
+// float-ordering divergence the PR 6 audit is after.
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 impl Eq for QueuedEvent {}
 impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -128,10 +138,72 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// Which priority-queue implementation orders the DES event loop. Both
+/// pop the pending event minimal under `(time.total_cmp, seq)`, so the
+/// simulated result is bit-identical either way (asserted by the
+/// `engines` equivalence tests); they differ only in host cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueEngine {
+    /// Calendar (bucket) queue — amortized O(1) push/pop
+    /// ([`CalendarQueue`]). The default.
+    #[default]
+    Calendar,
+    /// The reference `std::collections::BinaryHeap` (O(log n)): kept
+    /// for equivalence testing and the `bench` engine comparison.
+    BinaryHeap,
+}
+
+/// The event loop's priority queue, behind the engine switch. Owns the
+/// `seq` tiebreaker so pushes are totally ordered no matter the engine.
+enum EventQueue {
+    Calendar { seq: u64, q: CalendarQueue<Event> },
+    Heap { seq: u64, q: BinaryHeap<Reverse<QueuedEvent>> },
+}
+
+impl EventQueue {
+    fn new(engine: QueueEngine) -> Self {
+        match engine {
+            QueueEngine::Calendar => EventQueue::Calendar {
+                seq: 0,
+                q: CalendarQueue::new(),
+            },
+            QueueEngine::BinaryHeap => EventQueue::Heap {
+                seq: 0,
+                q: BinaryHeap::new(),
+            },
+        }
+    }
+
+    fn push(&mut self, time: f64, event: Event) {
+        match self {
+            EventQueue::Calendar { seq, q } => {
+                *seq += 1;
+                q.push(time, *seq, event);
+            }
+            EventQueue::Heap { seq, q } => {
+                *seq += 1;
+                q.push(Reverse(QueuedEvent {
+                    time,
+                    seq: *seq,
+                    event,
+                }));
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, Event)> {
+        match self {
+            EventQueue::Calendar { q, .. } => q.pop().map(|(time, _, event)| (time, event)),
+            EventQueue::Heap { q, .. } => q.pop().map(|Reverse(e)| (e.time, e.event)),
+        }
+    }
+}
+
 /// Flow-level discrete-event simulator.
 #[derive(Debug, Default)]
 pub struct FlowSim {
     obs: FlowSimObs,
+    engine: QueueEngine,
 }
 
 /// Pre-resolved metric handles ([`FlowSim::with_obs`]); default
@@ -166,7 +238,20 @@ impl FlowSim {
                 sim_us: obs.histogram("netsim.des.sim_us"),
                 host_us: obs.histogram("netsim.des.host_us"),
             },
+            engine: QueueEngine::default(),
         }
+    }
+
+    /// Select the event-queue engine (builder style). Results are
+    /// bit-identical across engines; see [`QueueEngine`].
+    pub fn with_queue(mut self, engine: QueueEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine the event loop runs on.
+    pub fn queue_engine(&self) -> QueueEngine {
+        self.engine
     }
 
     /// Simulate one execution; returns the completion time (µs) at which
@@ -235,18 +320,7 @@ impl FlowSim {
             }
         }
 
-        let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut push = |heap: &mut BinaryHeap<Reverse<QueuedEvent>>, time: f64, event: Event| {
-            heap.push(Reverse(QueuedEvent {
-                time,
-                seq: {
-                    seq += 1;
-                    seq
-                },
-                event,
-            }));
-        };
+        let mut queue = EventQueue::new(self.engine);
 
         // Rank state: the round each rank currently occupies (or n_rounds
         // when done). Entering a round posts its sends with serialized
@@ -259,7 +333,7 @@ impl FlowSim {
         // sends. Returns without scheduling anything once the rank is
         // done. Recv-only rounds whose deliveries already happened are
         // skipped over.
-        #[allow(clippy::too_many_arguments)]
+        #[allow(clippy::too_many_arguments)] // local helper over loop state
         fn enter_rounds(
             rank: u32,
             now: f64,
@@ -268,8 +342,7 @@ impl FlowSim {
             rank_round: &mut [u32],
             pending: &[Vec<u32>],
             sends: &[Vec<Vec<u32>>],
-            heap: &mut BinaryHeap<Reverse<QueuedEvent>>,
-            push: &mut impl FnMut(&mut BinaryHeap<Reverse<QueuedEvent>>, f64, Event),
+            queue: &mut EventQueue,
         ) {
             loop {
                 let k = rank_round[rank as usize];
@@ -282,7 +355,7 @@ impl FlowSim {
                 }
                 // Post this round's sends; recvs complete via Delivery.
                 for (i, &fid) in sends[k as usize][rank as usize].iter().enumerate() {
-                    push(heap, now + (i + 1) as f64 * cpu_overhead, Event::FlowStart(fid));
+                    queue.push(now + (i + 1) as f64 * cpu_overhead, Event::FlowStart(fid));
                 }
                 return;
             }
@@ -297,13 +370,12 @@ impl FlowSim {
                 &mut rank_round,
                 &pending,
                 &sends,
-                &mut heap,
-                &mut push,
+                &mut queue,
             );
         }
 
         self.obs.flows.add(flows.len() as u64);
-        while let Some(Reverse(QueuedEvent { time, event, .. })) = heap.pop() {
+        while let Some((time, event)) = queue.pop() {
             self.obs.events.incr();
             finish = finish.max(time);
             match event {
@@ -315,7 +387,7 @@ impl FlowSim {
                     }
                     active_flows.push(fid);
                     recompute_rates(time, &mut flows, &mut active_flows, &resources, |t, f, g| {
-                        push(&mut heap, t, Event::TransferEnd(f, g))
+                        queue.push(t, Event::TransferEnd(f, g))
                     });
                 }
                 Event::TransferEnd(fid, generation) => {
@@ -335,7 +407,7 @@ impl FlowSim {
                     flows[fid as usize].active = false;
                     active_flows.retain(|&x| x != fid);
                     recompute_rates(time, &mut flows, &mut active_flows, &resources, |t, f, g| {
-                        push(&mut heap, t, Event::TransferEnd(f, g))
+                        queue.push(t, Event::TransferEnd(f, g))
                     });
                     // Sender completes its message at wire drain.
                     complete_message(
@@ -347,10 +419,9 @@ impl FlowSim {
                         &mut rank_round,
                         &mut pending,
                         &sends,
-                        &mut heap,
-                        &mut push,
+                        &mut queue,
                     );
-                    push(&mut heap, time + latency, Event::Delivery(fid));
+                    queue.push(time + latency, Event::Delivery(fid));
                 }
                 Event::Delivery(fid) => {
                     let f = &flows[fid as usize];
@@ -369,8 +440,7 @@ impl FlowSim {
                         &mut rank_round,
                         &mut pending,
                         &sends,
-                        &mut heap,
-                        &mut push,
+                        &mut queue,
                     );
                 }
             }
@@ -392,8 +462,7 @@ impl FlowSim {
             rank_round: &mut [u32],
             pending: &mut [Vec<u32>],
             sends: &[Vec<Vec<u32>>],
-            heap: &mut BinaryHeap<Reverse<QueuedEvent>>,
-            push: &mut impl FnMut(&mut BinaryHeap<Reverse<QueuedEvent>>, f64, Event),
+            queue: &mut EventQueue,
         ) {
             let p = &mut pending[round as usize][rank as usize];
             debug_assert!(*p > 0, "double completion for rank {rank} round {round}");
@@ -401,7 +470,7 @@ impl FlowSim {
             if *p == 0 && rank_round[rank as usize] == round {
                 rank_round[rank as usize] = round + 1;
                 enter_rounds(
-                    rank, now, n_rounds, cpu_overhead, rank_round, pending, sends, heap, push,
+                    rank, now, n_rounds, cpu_overhead, rank_round, pending, sends, queue,
                 );
             }
         }
@@ -588,6 +657,47 @@ mod tests {
         let tr = sim.simulate(&c, 1, &reducing);
         let extra = c.params.reduce_time(1 << 20);
         assert!((tr - tp - extra).abs() < 1e-6, "tp={tp} tr={tr} extra={extra}");
+    }
+
+    #[test]
+    fn queue_engines_are_bit_identical() {
+        let c = Cluster::bebop_like();
+        let scheds = [
+            sched(2, vec![vec![Msg::data(0, 1, 65_536)]]),
+            sched(
+                4,
+                vec![vec![Msg::data(0, 2, 1 << 20), Msg::data(1, 3, 1 << 20)]],
+            ),
+            sched(
+                8,
+                vec![
+                    vec![Msg::data(0, 4, 1 << 16)],
+                    vec![Msg::data(0, 2, 1 << 16), Msg::data(4, 6, 1 << 16)],
+                    vec![
+                        Msg::data(0, 1, 1 << 16),
+                        Msg::data(2, 3, 1 << 16),
+                        Msg::data(4, 5, 1 << 16),
+                        Msg::data(6, 7, 1 << 16),
+                    ],
+                ],
+            ),
+        ];
+        for (i, s) in scheds.iter().enumerate() {
+            for ppn in [1, 2] {
+                let cal = FlowSim::new()
+                    .with_queue(QueueEngine::Calendar)
+                    .simulate(&c, ppn, s);
+                let heap = FlowSim::new()
+                    .with_queue(QueueEngine::BinaryHeap)
+                    .simulate(&c, ppn, s);
+                assert_eq!(
+                    cal.to_bits(),
+                    heap.to_bits(),
+                    "engines diverged on schedule {i} ppn {ppn}: {cal} vs {heap}"
+                );
+            }
+        }
+        assert_eq!(FlowSim::new().queue_engine(), QueueEngine::Calendar);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct Probe {
     /// The best near-compatible entry and its prior weight, when no
     /// exact entry exists.
     pub near: Option<(StoreEntry, f64)>,
+    /// Entries quarantined during the scan: files that exist but are
+    /// corrupt (torn write, foreign schema) or unreadable. They are
+    /// skipped — a warm-start probe degrades to a miss instead of
+    /// failing — and can be reclaimed with [`TuningStore::gc`].
+    pub quarantined: usize,
 }
 
 impl Probe {
@@ -88,9 +93,16 @@ impl Probe {
 pub struct GcReport {
     /// Entries that parsed cleanly and were kept.
     pub kept: usize,
-    /// Files removed: unparseable, wrong schema version, or stored
-    /// under a filename that does not match their signature's key.
+    /// Files removed: unparseable, wrong schema version, stored under
+    /// a filename that does not match their signature's key, or
+    /// crashed-writer `*.json.tmp` debris.
     pub removed: usize,
+    /// Files that vanished mid-sweep (a concurrent gc or writer beat
+    /// this sweep to them) — benign, nothing left to do.
+    pub skipped: usize,
+    /// Files the sweep could not read or remove (per-entry I/O
+    /// errors); left in place rather than aborting the sweep.
+    pub failed: usize,
 }
 
 /// Result of a [`TuningStore::import`].
@@ -141,15 +153,33 @@ impl TuningStore {
     }
 
     /// Write (or overwrite) an entry at its content address; returns
-    /// the key. The write is atomic-ish: a temp file renamed into
-    /// place, so a crashed writer never leaves a half-entry behind.
+    /// the key. The write is durable-atomic: the entry is written to a
+    /// temp file, fsynced, then renamed into place, and the parent
+    /// directory is fsynced (best-effort) so the rename itself survives
+    /// a crash. A crashed writer can leave `*.json.tmp` debris behind
+    /// but never a half-entry at the final name; [`TuningStore::gc`]
+    /// sweeps the debris.
     pub fn put(&self, entry: &StoreEntry) -> io::Result<String> {
+        use std::io::Write;
         let key = entry.key();
         let text = serde_json::to_string(entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = self.root.join(format!("{key}.json.tmp"));
-        std::fs::write(&tmp, text)?;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        // Flush file contents to disk *before* the rename publishes the
+        // name — otherwise a crash can leave a fully-named empty or
+        // truncated entry, exactly the torn write the rename is meant
+        // to rule out.
+        f.sync_all()?;
+        drop(f);
         std::fs::rename(&tmp, self.path_for(&key))?;
+        // Persist the rename itself. Directory fsync is not supported
+        // everywhere (and never on Windows), so failures here are
+        // ignored: the entry is still correct, just not yet durable.
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
         Ok(key)
     }
 
@@ -180,11 +210,26 @@ impl TuningStore {
         Ok(keys)
     }
 
+    /// Classify the file at `key` without ever failing on a bad entry:
+    /// corrupt or unreadable files come back `Quarantined` so scans can
+    /// count and skip them instead of aborting.
+    fn load(&self, key: &str) -> Loaded {
+        match std::fs::read_to_string(self.path_for(key)) {
+            Ok(text) => match parse_entry(&text) {
+                Some(e) => Loaded::Present(Box::new(e)),
+                None => Loaded::Quarantined,
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Loaded::Absent,
+            Err(_) => Loaded::Quarantined,
+        }
+    }
+
     /// One [`StoreSummary`] per readable entry, sorted by key.
+    /// Quarantined (corrupt/unreadable) entries are skipped.
     pub fn summaries(&self) -> io::Result<Vec<StoreSummary>> {
         let mut out = Vec::new();
         for key in self.keys()? {
-            if let Some(e) = self.get(&key)? {
+            if let Loaded::Present(e) = self.load(&key) {
                 out.push(StoreSummary {
                     key,
                     collective: e.signature.collective.name().to_string(),
@@ -202,62 +247,116 @@ impl TuningStore {
     /// Find reusable prior work for `sig`: the exact entry if one
     /// exists, else the highest-weight near-compatible entry.
     /// Incompatible entries — params-hash drift above all — are never
-    /// returned.
+    /// returned. Corrupt or unreadable entries never fail the probe;
+    /// they are counted in [`Probe::quarantined`] and skipped, so a
+    /// damaged store degrades to a (partial) miss instead of blocking
+    /// warm-start entirely.
     pub fn probe(&self, sig: &ClusterSignature) -> io::Result<Probe> {
         // The exact entry is a direct O(1) lookup at the key.
-        if let Some(e) = self.get(&sig.key())? {
+        if let Loaded::Present(e) = self.load(&sig.key()) {
             if sig.compatibility(&e.signature) == Compatibility::Exact {
                 return Ok(Probe {
-                    exact: Some(e),
-                    near: None,
+                    exact: Some(*e),
+                    ..Probe::default()
                 });
             }
         }
         // Near matches require a scan; keep the best weight.
         let mut best: Option<(StoreEntry, f64)> = None;
+        let mut quarantined = 0;
         for key in self.keys()? {
-            if let Some(e) = self.get(&key)? {
-                if let Compatibility::Near(w) = sig.compatibility(&e.signature) {
-                    if best.as_ref().is_none_or(|(_, bw)| w > *bw) {
-                        best = Some((e, w));
+            match self.load(&key) {
+                Loaded::Present(e) => {
+                    if let Compatibility::Near(w) = sig.compatibility(&e.signature) {
+                        if best.as_ref().is_none_or(|(_, bw)| w > *bw) {
+                            best = Some((*e, w));
+                        }
                     }
                 }
+                Loaded::Quarantined => quarantined += 1,
+                Loaded::Absent => {}
             }
         }
         Ok(Probe {
             exact: None,
             near: best,
+            quarantined,
         })
     }
 
     /// Sweep the store: drop files that fail to parse, carry a foreign
     /// schema version, or sit at a filename that does not match their
-    /// signature's key.
+    /// signature's key, plus `*.json.tmp` debris from crashed writers.
+    ///
+    /// The sweep is race- and fault-tolerant: files that vanish
+    /// mid-sweep (a concurrent gc or writer) are counted as skipped,
+    /// and per-entry I/O errors are counted as failed — neither aborts
+    /// the rest of the sweep. Only listing the directory itself can
+    /// return `Err`.
     pub fn gc(&self) -> io::Result<GcReport> {
-        let mut report = GcReport::default();
-        for key in self.keys()? {
-            let path = self.path_for(&key);
-            let keep = std::fs::read_to_string(&path)
-                .ok()
-                .and_then(|t| parse_entry(&t))
-                .is_some_and(|e| e.key() == key);
-            if keep {
-                report.kept += 1;
-            } else {
-                std::fs::remove_file(&path)?;
-                report.removed += 1;
+        let mut report = self.gc_keys(&self.keys()?);
+        // Crashed-writer debris: a put() that died between create and
+        // rename leaves `<key>.json.tmp` behind. Never live data (the
+        // rename is the publish step), so always reclaimable.
+        for f in std::fs::read_dir(&self.root)? {
+            let Ok(f) = f else {
+                report.failed += 1;
+                continue;
+            };
+            let name = f.file_name();
+            if !name.to_string_lossy().ends_with(".json.tmp") {
+                continue;
+            }
+            match std::fs::remove_file(f.path()) {
+                Ok(()) => report.removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => report.skipped += 1,
+                Err(_) => report.failed += 1,
             }
         }
         Ok(report)
     }
 
+    /// The entry-sweeping half of [`TuningStore::gc`], over an explicit
+    /// key list. Split out so tests can drive the sweep with phantom or
+    /// stale keys to simulate concurrent-gc races deterministically.
+    #[doc(hidden)]
+    pub fn gc_keys(&self, keys: &[String]) -> GcReport {
+        let mut report = GcReport::default();
+        for key in keys {
+            let path = self.path_for(key);
+            let keep = match std::fs::read_to_string(&path) {
+                Ok(text) => parse_entry(&text).is_some_and(|e| e.key() == *key),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // Vanished since the listing: a concurrent sweep or
+                    // writer got there first. Nothing left to reclaim.
+                    report.skipped += 1;
+                    continue;
+                }
+                // Unreadable but present: treat as corrupt and try to
+                // reclaim it below.
+                Err(_) => false,
+            };
+            if keep {
+                report.kept += 1;
+            } else {
+                match std::fs::remove_file(&path) {
+                    Ok(()) => report.removed += 1,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => report.skipped += 1,
+                    Err(_) => report.failed += 1,
+                }
+            }
+        }
+        report
+    }
+
     /// Export every readable entry into a single JSON file at `path`
     /// (a JSON array of entries); returns how many were written.
+    /// Quarantined (corrupt/unreadable) entries are skipped.
     pub fn export(&self, path: impl AsRef<Path>) -> io::Result<usize> {
         let mut entries = Vec::new();
         for key in self.keys()? {
-            if let Some(e) = self.get(&key)? {
-                entries.push(e);
+            if let Loaded::Present(e) = self.load(&key) {
+                entries.push(*e);
             }
         }
         let text = serde_json::to_string(&entries)
@@ -291,6 +390,17 @@ impl TuningStore {
         }
         Ok(report)
     }
+}
+
+/// Outcome of loading one on-disk entry for a scan.
+enum Loaded {
+    /// Parsed cleanly under the current schema (boxed: an entry is
+    /// hundreds of bytes inline, the other variants are zero-sized).
+    Present(Box<StoreEntry>),
+    /// No file at the key (never written, or removed concurrently).
+    Absent,
+    /// A file exists but is corrupt, foreign-schema, or unreadable.
+    Quarantined,
 }
 
 /// Parse an entry, treating malformed text or a foreign schema version

@@ -20,7 +20,8 @@
 //!
 //! Counters (all under `store.` on the run's [`Obs`]): `hits`,
 //! `exact_hits`, `near_hits`, `misses`, `points_reused`,
-//! `prior_points`, `entries_written`, and the cold-vs-warm convergence
+//! `prior_points`, `entries_written`, `quarantined_entries` (corrupt
+//! files skipped during probes), and the cold-vs-warm convergence
 //! split `cold_iterations` / `warm_iterations`.
 
 use crate::signature::ClusterSignature;
@@ -75,6 +76,7 @@ pub fn tune_with_store(
     let m_near = obs.counter("store.near_hits");
     let m_misses = obs.counter("store.misses");
     let m_written = obs.counter("store.entries_written");
+    let m_quarantined = obs.counter("store.quarantined_entries");
 
     // Probe every collective up front (I/O, fallible), then hand the
     // results to the infallible training pipeline.
@@ -83,6 +85,7 @@ pub fn tune_with_store(
     for &c in collectives {
         let sig = ClusterSignature::new(db.config(), &config.space, c, &config.learner.collection);
         let probe = store.probe(&sig)?;
+        m_quarantined.add(probe.quarantined as u64);
         if let Some(e) = probe.exact {
             m_hits.incr();
             m_exact.incr();

@@ -106,7 +106,8 @@ pub mod prelude {
         mpich_default, Algorithm, Collective, Measurement, MicrobenchConfig,
     };
     pub use acclaim_core::{
-        all_candidates, application_impact, rank_by_variance, Acclaim, AcclaimConfig,
+        all_candidates, application_impact, rank_by_variance, rank_by_variance_flat,
+        Acclaim, AcclaimConfig,
         ActiveLearner, Candidate, CollectionPolicy, CollectionStrategy, CriterionConfig,
         FaultEvent, FaultStats, JobTuning, LearnerConfig, PerfModel, RobustAgg,
         SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
@@ -116,7 +117,7 @@ pub mod prelude {
         BenchmarkDatabase, DatasetConfig, FeatureSpace, Point, Sample,
     };
     pub use acclaim_ml::{
-        average_slowdown, DirtyRegion, ForestConfig, RandomForest, TreeUpdate,
+        average_slowdown, DirtyRegion, FlatForest, ForestConfig, RandomForest, TreeUpdate,
         CONVERGENCE_SLOWDOWN,
     };
     pub use acclaim_netsim::{
