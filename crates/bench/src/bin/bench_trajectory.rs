@@ -1,13 +1,16 @@
 //! `bench_trajectory` — the PR's machine-readable perf trajectory.
 //!
-//! Times the workloads this PR optimized and emits `BENCH_pr6.json`
+//! Times the workloads recent PRs optimized and emits `BENCH_pr7.json`
 //! at the repository root (override with `--out PATH`):
 //!
 //! * the candidate variance scan, pointer-chasing vs flat SoA engine,
 //!   at the ablation shape (n≈800 samples, 64 trees, 1944 candidates);
 //! * the flow-level DES on a collective trace, binary-heap vs calendar
 //!   event queue;
-//! * one end-to-end tune on the tiny grid (wall time, flat engine).
+//! * one end-to-end tune on the tiny grid (wall time, flat engine);
+//! * one warm rule query through the `acclaim-serve` service (cache
+//!   hit against a pre-warmed serving model — the daemon's steady-state
+//!   lookup path, expected well under a millisecond).
 //!
 //! `--compare BASELINE.json` re-reads a committed trajectory and prints
 //! soft warnings for medians that regressed beyond a 25% band — it
@@ -50,6 +53,7 @@ struct MediansUs {
     des_binary_heap: f64,
     des_calendar: f64,
     tune_e2e: f64,
+    serve_query_warm: f64,
 }
 
 #[derive(Serialize)]
@@ -149,7 +153,7 @@ fn main() {
         }
     }
     let out = out.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr6.json")
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr7.json")
     });
 
     // -- Variance scan, pointer vs flat, at the ablation shape. --------
@@ -211,8 +215,38 @@ fn main() {
     });
     eprintln!("tune_e2e: {tune:.1} µs");
 
+    // -- Warm rule query through the serving layer. --------------------
+    let serve_query = {
+        use acclaim_serve::{JobStatus, QueryRequest, ServeConfig, TuneService};
+        let dir = std::env::temp_dir().join("acclaim-bench-serve-latency");
+        std::fs::remove_dir_all(&dir).ok();
+        let service = TuneService::open(
+            &dir,
+            ServeConfig::default(),
+            acclaim_obs::Obs::disabled(),
+        )
+        .expect("open serve store");
+        let request = acclaim_serve::loadgen::request_pool(1, 7)[0].clone();
+        let JobStatus::Done(_) = service.submit(request.clone()).wait() else {
+            panic!("serve warmup tune failed");
+        };
+        let query = QueryRequest {
+            dataset: request.dataset.clone(),
+            config: request.config.clone(),
+            collective: request.collectives[0],
+            point: acclaim_dataset::Point::new(4, 2, 1024),
+        };
+        let median = median_us(200, 1001, || {
+            black_box(service.query(&query));
+        });
+        drop(service);
+        std::fs::remove_dir_all(&dir).ok();
+        median
+    };
+    eprintln!("serve_query_warm: {serve_query:.1} µs");
+
     let trajectory = Trajectory {
-        pr: 6,
+        pr: 7,
         schema_version: BENCH_SCHEMA_VERSION,
         shape: Shape {
             n_samples: N_SAMPLES,
@@ -225,6 +259,7 @@ fn main() {
             des_binary_heap: des_heap,
             des_calendar: des_cal,
             tune_e2e: tune,
+            serve_query_warm: serve_query,
         },
         speedups: Speedups {
             variance_scan: pointer / flat,
@@ -267,6 +302,7 @@ fn compare_against(baseline: &PathBuf, current: &Trajectory) {
         ("des_binary_heap", current.medians_us.des_binary_heap),
         ("des_calendar", current.medians_us.des_calendar),
         ("tune_e2e", current.medians_us.tune_e2e),
+        ("serve_query_warm", current.medians_us.serve_query_warm),
     ];
     let mut regressed = 0;
     for (name, now) in pairs {

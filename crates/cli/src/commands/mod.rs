@@ -1,6 +1,7 @@
 //! One module per subcommand; each exposes `run(&Args) -> Result<String, String>`.
 
 pub mod selections;
+pub mod serve;
 pub mod simulate;
 pub mod store;
 pub mod traces;

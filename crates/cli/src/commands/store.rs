@@ -5,6 +5,7 @@
 //! file), `import` (merge a bundle; existing keys win).
 
 use crate::args::Args;
+use crate::trace::TraceOutputs;
 use acclaim_obs::Diag;
 use acclaim_store::TuningStore;
 use std::fmt::Write;
@@ -17,7 +18,7 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     let store = TuningStore::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
     match args.action.as_deref() {
         Some("ls") => ls(&store),
-        Some("gc") => gc(&store, diag),
+        Some("gc") => gc(&store, args, diag),
         Some("export") => export(&store, args, diag),
         Some("import") => import(&store, args, diag),
         Some(other) => Err(format!(
@@ -55,8 +56,17 @@ fn ls(store: &TuningStore) -> Result<String, String> {
     Ok(out)
 }
 
-fn gc(store: &TuningStore, diag: &Diag) -> Result<String, String> {
+fn gc(store: &TuningStore, args: &Args, diag: &Diag) -> Result<String, String> {
+    let (obs, outputs) = TraceOutputs::from_args(args)?;
+    // Failed reclaims must be visible to monitoring even when the
+    // operator isn't reading exit codes.
+    let obs = if !obs.is_enabled() {
+        acclaim_obs::Obs::enabled()
+    } else {
+        obs
+    };
     let report = store.gc().map_err(|e| format!("sweeping store: {e}"))?;
+    obs.incr_counter("store.gc_failed", report.failed as u64);
     diag.progress(&format!("gc swept {}", store.root().display()));
     let mut out = format!(
         "gc: kept {} entries, removed {}",
@@ -70,6 +80,19 @@ fn gc(store: &TuningStore, diag: &Diag) -> Result<String, String> {
         let _ = write!(out, ", failed {} (left in place)", report.failed);
     }
     out.push('\n');
+    for line in outputs.write(&obs)? {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // A sweep that could not reclaim damaged files is a failure: the
+    // debris it exists to remove is still there. Nonzero exit so cron
+    // jobs and CI notice.
+    if report.failed > 0 {
+        return Err(format!(
+            "{out}gc: {} damaged file(s) could not be reclaimed",
+            report.failed
+        ));
+    }
     Ok(out)
 }
 
@@ -155,6 +178,33 @@ mod tests {
         assert!(out.contains("imported 0"));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&bundle).ok();
+    }
+
+    #[test]
+    fn gc_fails_loudly_when_debris_cannot_be_reclaimed() {
+        let dir = temp_store("acclaim-cli-store-gc-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A *directory* at an entry path reads as corrupt (not valid
+        // JSON) but cannot be reclaimed by remove_file — even as root.
+        let blocker = dir.join("00000000deadbeef.json");
+        std::fs::create_dir_all(blocker.join("pin")).unwrap();
+        let metrics = std::env::temp_dir().join("acclaim-cli-store-gc-fail-metrics.jsonl");
+        let e = run_tokens(&[
+            "store",
+            "gc",
+            "--store",
+            dir.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("could not be reclaimed"), "{e}");
+        assert!(e.contains("failed 1"), "{e}");
+        // The failure is also counted for monitoring.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("store.gc_failed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]

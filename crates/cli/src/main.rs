@@ -8,6 +8,8 @@
 //! acclaim selections --tuning tuning.json --collective bcast --nodes 16 --ppn 8
 //! acclaim simulate   --machine bebop --nodes 16 --ppn 4 --collective reduce --msg 262144
 //! acclaim store      ls|gc|export|import --store DIR [--out FILE] [--in FILE]
+//! acclaim serve      --store DIR [--socket PATH] [--workers N] [--slots N]
+//! acclaim client     --socket PATH --op tune|query|stats|shutdown | --load N
 //! acclaim traces
 //! ```
 //!
@@ -15,7 +17,9 @@
 //! writes the MPICH-style JSON tuning file; `selections` shows what that
 //! file (or the MPICH default heuristic) picks; `simulate` prices every
 //! algorithm at one point; `store` inspects and maintains the
-//! persistent cross-job tuning store; `traces` summarizes the synthetic
+//! persistent cross-job tuning store; `serve` runs the tuning daemon on
+//! a Unix socket with `client` as its matching client (including a
+//! deterministic `--load` generator); `traces` summarizes the synthetic
 //! application traces.
 
 mod args;
@@ -59,6 +63,18 @@ commands:
               gc     --store DIR        drop corrupt/foreign-version files
               export --store DIR --out FILE   bundle entries to one file
               import --store DIR --in FILE    merge a bundle (local wins)
+  serve       run the tuning-as-a-service daemon on a local socket
+              --store DIR [--socket PATH] [--workers N] [--slots N]
+              [--shards N] [--format json|binary]
+              (runs until a client sends shutdown; prints serve.*
+               counters on exit)
+  client      talk to a running daemon over line-delimited JSON
+              --socket PATH [--wait-server SECS]
+              --op tune|query|stats|shutdown
+                [--pool N] [--pool-index I] [--seed N]
+                [--priority low|normal|high] [--nodes N --ppn N --msg B]
+              --load N  drive N deterministic tune sessions
+                [--clients N] [--pool N] [--seed N]
   traces      summarize the synthetic application traces [--max-msg B]
 ";
 
@@ -74,6 +90,8 @@ fn dispatch(args: Args, diag: &Diag) -> Result<String, String> {
         Some("selections") => commands::selections::run(&args, diag),
         Some("simulate") => commands::simulate::run(&args, diag),
         Some("store") => commands::store::run(&args, diag),
+        Some("serve") => commands::serve::serve(&args, diag),
+        Some("client") => commands::serve::client(&args, diag),
         Some("traces") => commands::traces::run(&args, diag),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => Err(USAGE.to_string()),

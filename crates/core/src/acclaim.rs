@@ -14,9 +14,11 @@ use crate::rules::{generate_rules, TunedSelector, TuningFile};
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_dataset::{traces::AppTrace, BenchmarkDatabase, FeatureSpace};
 use acclaim_obs::Obs;
+use serde::{Deserialize, Serialize};
 
-/// Pipeline configuration.
-#[derive(Debug, Clone)]
+/// Pipeline configuration. Serializable so remote clients (the
+/// `acclaim-serve` wire protocol) can ship a full tuning request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AcclaimConfig {
     /// Active-learning configuration (defaults to the paper's ACCLAiM).
     pub learner: LearnerConfig,
@@ -191,11 +193,38 @@ impl Acclaim {
         obs: &Obs,
         warm_for: impl Fn(Collective) -> Option<WarmStart>,
     ) -> JobTuning {
+        self.tune_while(db, collectives, obs, warm_for, || true).0
+    }
+
+    /// [`Acclaim::tune_with_warm`] with a cooperative cancellation
+    /// hook: `keep_going` is consulted before each collective trains,
+    /// and a `false` stops the job at that collective boundary —
+    /// training one collective is the unit of work, never torn apart
+    /// mid-run. Returns the (possibly partial) tuning — reports and
+    /// rule tables only for the collectives that completed — plus
+    /// whether the whole list ran. An always-`true` hook is
+    /// bit-identical to [`Acclaim::tune_with_warm`].
+    ///
+    /// This is the hook long-running callers (the `acclaim-serve` job
+    /// queue) cancel through; the learner itself stays oblivious.
+    pub fn tune_while(
+        &self,
+        db: &BenchmarkDatabase,
+        collectives: &[Collective],
+        obs: &Obs,
+        warm_for: impl Fn(Collective) -> Option<WarmStart>,
+        mut keep_going: impl FnMut() -> bool,
+    ) -> (JobTuning, bool) {
         assert!(!collectives.is_empty(), "the user must list collectives");
         let learner = ActiveLearner::new(self.config.learner.clone());
         let mut reports = Vec::with_capacity(collectives.len());
         let mut tables = Vec::with_capacity(collectives.len());
+        let mut completed = true;
         for &c in collectives {
+            if !keep_going() {
+                completed = false;
+                break;
+            }
             let warm = warm_for(c);
             let outcome =
                 learner.train_warm(db, c, &self.config.space, None, obs, warm.as_ref());
@@ -205,12 +234,15 @@ impl Acclaim {
             }
             reports.push((c, outcome));
         }
-        JobTuning {
-            tuning_file: TuningFile {
-                collectives: tables,
+        (
+            JobTuning {
+                tuning_file: TuningFile {
+                    collectives: tables,
+                },
+                reports,
             },
-            reports,
-        }
+            completed,
+        )
     }
 }
 
@@ -338,6 +370,40 @@ mod tests {
             tuned <= default + 0.08,
             "tuned {tuned} should not lose to default {default}"
         );
+    }
+
+    #[test]
+    fn tune_while_is_identical_when_not_cancelled_and_partial_when_cancelled() {
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        let both = [Collective::Bcast, Collective::Reduce];
+        let full = Acclaim::new(fast_config()).tune(&db, &both);
+        let (same, done) = Acclaim::new(fast_config()).tune_while(
+            &db,
+            &both,
+            &Obs::disabled(),
+            |_| None,
+            || true,
+        );
+        assert!(done);
+        assert_eq!(full.tuning_file, same.tuning_file);
+        // Cancelling after the first check stops at the collective
+        // boundary: one completed report, one completed rule table.
+        let mut checks = 0;
+        let (partial, done) = Acclaim::new(fast_config()).tune_while(
+            &db,
+            &both,
+            &Obs::disabled(),
+            |_| None,
+            || {
+                checks += 1;
+                checks <= 1
+            },
+        );
+        assert!(!done);
+        assert_eq!(partial.reports.len(), 1);
+        assert_eq!(partial.reports[0].0, Collective::Bcast);
+        assert_eq!(partial.tuning_file.collectives.len(), 1);
+        assert_eq!(partial.tuning_file.collectives[0], full.tuning_file.collectives[0]);
     }
 
     #[test]

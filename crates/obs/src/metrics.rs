@@ -252,6 +252,29 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Upper bound on the `q`-quantile (`q` in `[0, 1]`, clamped), at
+    /// bucket resolution: the upper edge of the first bucket whose
+    /// cumulative count covers `q` of the observations, clamped to the
+    /// observed max so the open-ended last bucket never reports
+    /// infinity. With power-of-two buckets the answer is within 2x of
+    /// the true quantile — the right precision for counter-style
+    /// reporting ("median query latency under a millisecond"), not for
+    /// benchmarking (measure raw samples there). 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for b in &self.buckets {
+            cumulative += b.count;
+            if cumulative >= target {
+                return b.hi.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// Name-keyed metric registry. Lookup takes a mutex; handles do not.
@@ -391,5 +414,40 @@ mod tests {
         assert_eq!((b1.count, b1.hi), (2, 2.0));
         let total: u64 = s.buckets.iter().map(|b| b.count).sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn histogram_quantile_is_a_bucket_resolution_upper_bound() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        let r = Registry::default();
+        let h = Histogram(Some(r.histogram("q")));
+        // 100 observations: 50 in [1,2), 40 in [8,16), 10 in [512,1024).
+        for _ in 0..50 {
+            h.record(1.5);
+        }
+        for _ in 0..40 {
+            h.record(9.0);
+        }
+        for _ in 0..10 {
+            h.record(600.0);
+        }
+        let s = h.snapshot();
+        // Medians and tails land on the covering bucket's upper edge.
+        assert_eq!(s.quantile(0.25), 2.0);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.9), 16.0);
+        // [512,1024) covers the tail; its edge clamps to max = 600.
+        assert_eq!(s.quantile(0.95), 600.0);
+        // The open-ended side clamps to the observed extremes, never
+        // reporting infinity or crossing below q=0's first bucket.
+        assert_eq!(s.quantile(1.0), s.max);
+        assert_eq!(s.quantile(2.0), s.max);
+        assert_eq!(s.quantile(0.0), 2.0);
+        assert_eq!(s.quantile(-1.0), 2.0);
+        // A single huge observation exercises the max clamp on the
+        // infinite last bucket.
+        let h2 = Histogram(Some(r.histogram("q2")));
+        h2.record(1e300);
+        assert_eq!(h2.snapshot().quantile(0.5), 1e300);
     }
 }

@@ -1,0 +1,281 @@
+//! Line-delimited JSON wire protocol between clients and the daemon.
+//!
+//! One request per line, one response per line, in order. The framing
+//! is plain `\n` (JSON string escapes keep payloads single-line), so
+//! any language with a JSON library and a socket can speak it:
+//!
+//! ```text
+//! → "Stats"
+//! ← {"Stats":{"stats":{...}}}
+//! → "Shutdown"
+//! ← "Bye"
+//! ```
+//!
+//! [`handle_request`] maps one decoded request onto a [`TuneService`];
+//! the CLI's daemon loop is a thin socket wrapper around it. `Tune` is
+//! synchronous from the client's point of view: the connection blocks
+//! until the job completes (coalescing and caching make repeat
+//! requests cheap); `Cancel`/`Status` act on job ids returned by
+//! `Tuned` responses on *other* connections.
+
+use crate::queue::JobStatus;
+use crate::service::{QueryRequest, QueryResponse, ServiceStats, TuneRequest, TuneService};
+use serde::{Deserialize, Serialize};
+
+/// A decoded client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Ensure a configuration is tuned; respond when done.
+    Tune {
+        /// The work to ensure.
+        request: TuneRequest,
+    },
+    /// Select an algorithm for one point.
+    Query {
+        /// The selection to answer.
+        request: QueryRequest,
+    },
+    /// Cancel a job by id.
+    Cancel {
+        /// Id from a prior `Tuned` response.
+        job: u64,
+    },
+    /// Report a job's status.
+    Status {
+        /// Id from a prior `Tuned` response.
+        job: u64,
+    },
+    /// Report service activity counters.
+    Stats,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// The daemon's reply to one [`WireRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// A tune request finished.
+    Tuned {
+        /// The job's id.
+        job: u64,
+        /// Served from cache without training.
+        cached: bool,
+        /// Every trained collective converged by criterion.
+        converged: bool,
+        /// Total training iterations.
+        iterations: u64,
+        /// Freshly measured points persisted.
+        fresh_points: u64,
+        /// Store keys touched, in collective order.
+        keys: Vec<String>,
+    },
+    /// A query's selection.
+    Selected {
+        /// The response payload.
+        response: QueryResponse,
+    },
+    /// Outcome of a cancel request.
+    Cancelled {
+        /// The job id the cancel named.
+        job: u64,
+        /// Whether the cancellation could still take effect.
+        effective: bool,
+    },
+    /// A status report.
+    StatusIs {
+        /// The job id the status names.
+        job: u64,
+        /// `queued` / `running` / `done` / `cancelled` / `failed`, or
+        /// `unknown` for ids the service never issued.
+        state: String,
+    },
+    /// Service activity counters.
+    Stats {
+        /// The snapshot.
+        stats: ServiceStats,
+    },
+    /// Acknowledges shutdown; the connection closes after this.
+    Bye,
+    /// The request failed.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Encode a request as one wire line (no trailing newline).
+pub fn encode_request(request: &WireRequest) -> String {
+    serde_json::to_string(request).expect("wire requests always serialize")
+}
+
+/// Decode one wire line into a request.
+pub fn decode_request(line: &str) -> Result<WireRequest, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))
+}
+
+/// Encode a response as one wire line (no trailing newline).
+pub fn encode_response(response: &WireResponse) -> String {
+    serde_json::to_string(response).expect("wire responses always serialize")
+}
+
+/// Decode one wire line into a response.
+pub fn decode_response(line: &str) -> Result<WireResponse, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad response: {e}"))
+}
+
+/// Execute one request against `service`. Returns the response and
+/// whether the daemon should shut down after sending it.
+pub fn handle_request(service: &TuneService, request: WireRequest) -> (WireResponse, bool) {
+    match request {
+        WireRequest::Tune { request } => {
+            let handle = service.submit(request);
+            let job = handle.id();
+            match handle.wait() {
+                JobStatus::Done(r) => (
+                    WireResponse::Tuned {
+                        job,
+                        cached: r.cached,
+                        converged: r.converged,
+                        iterations: r.iterations as u64,
+                        fresh_points: r.fresh_points as u64,
+                        keys: r.keys.clone(),
+                    },
+                    false,
+                ),
+                JobStatus::Cancelled => (
+                    WireResponse::Error {
+                        message: format!("job {job} was cancelled"),
+                    },
+                    false,
+                ),
+                JobStatus::Failed(message) => (WireResponse::Error { message }, false),
+                other => (
+                    WireResponse::Error {
+                        message: format!("job {job} ended in non-terminal state {other:?}"),
+                    },
+                    false,
+                ),
+            }
+        }
+        WireRequest::Query { request } => (
+            WireResponse::Selected {
+                response: service.query(&request),
+            },
+            false,
+        ),
+        WireRequest::Cancel { job } => (
+            WireResponse::Cancelled {
+                job,
+                effective: service.cancel(job),
+            },
+            false,
+        ),
+        WireRequest::Status { job } => (
+            WireResponse::StatusIs {
+                job,
+                state: service
+                    .status(job)
+                    .map_or_else(|| "unknown".to_string(), |s| s.label().to_string()),
+            },
+            false,
+        ),
+        WireRequest::Stats => (
+            WireResponse::Stats {
+                stats: service.stats(),
+            },
+            false,
+        ),
+        WireRequest::Shutdown => (WireResponse::Bye, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Priority;
+    use acclaim_collectives::Collective;
+    use acclaim_core::AcclaimConfig;
+    use acclaim_dataset::{DatasetConfig, FeatureSpace, Point};
+
+    fn tune_request() -> TuneRequest {
+        TuneRequest {
+            dataset: DatasetConfig::tiny(),
+            config: AcclaimConfig::new(FeatureSpace::tiny()),
+            collectives: vec![Collective::Bcast, Collective::Reduce],
+            priority: Priority::High,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_as_single_lines() {
+        let requests = vec![
+            WireRequest::Tune {
+                request: tune_request(),
+            },
+            WireRequest::Query {
+                request: QueryRequest {
+                    dataset: DatasetConfig::tiny(),
+                    config: AcclaimConfig::new(FeatureSpace::tiny()),
+                    collective: Collective::Allreduce,
+                    point: Point::new(4, 2, 65536),
+                },
+            },
+            WireRequest::Cancel { job: 3 },
+            WireRequest::Status { job: 9 },
+            WireRequest::Stats,
+            WireRequest::Shutdown,
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let decoded = decode_request(&line).unwrap();
+            assert_eq!(encode_request(&decoded), line);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_as_single_lines() {
+        let responses = vec![
+            WireResponse::Tuned {
+                job: 1,
+                cached: false,
+                converged: true,
+                iterations: 12,
+                fresh_points: 34,
+                keys: vec!["00ff".into()],
+            },
+            WireResponse::Selected {
+                response: crate::service::QueryResponse {
+                    algorithm: "scatter_recursive_doubling_allgather".into(),
+                    predicted_us: Some(12.5),
+                    source: crate::service::QuerySource::Tuned,
+                },
+            },
+            WireResponse::Cancelled {
+                job: 2,
+                effective: true,
+            },
+            WireResponse::StatusIs {
+                job: 3,
+                state: "running".into(),
+            },
+            WireResponse::Bye,
+            WireResponse::Error {
+                message: "multi\nline\ncause".into(),
+            },
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'), "newlines must stay escaped");
+            let decoded = decode_response(&line).unwrap();
+            assert_eq!(encode_response(&decoded), line);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_request("not json").is_err());
+        assert!(decode_request("{\"NoSuchOp\":{}}").is_err());
+        assert!(decode_response("[1,2,3]").is_err());
+    }
+}

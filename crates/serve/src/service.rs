@@ -1,0 +1,1036 @@
+//! The tuning service: workers, batching, rule serving.
+//!
+//! [`TuneService`] owns a [`SharedStore`], a [`JobQueue`], and a pool
+//! of worker threads. A tune request means "ensure this signature is
+//! tuned": if every requested collective already has an exact entry,
+//! the cached rules are served without retraining (`serve.cache_served`);
+//! identical queued requests are coalesced behind one training run
+//! (`serve.coalesced`); otherwise a worker acquires an allocation slot
+//! and trains through the same probe → warm-start → train → write-back
+//! path as [`acclaim_store::tune_with_store`] — the two share
+//! [`acclaim_store::warm_start_from_probe`] and
+//! [`acclaim_store::entry_from_outcome`], so a single-session service
+//! run is bit-identical to the CLI path by construction.
+//!
+//! Rule queries never touch the job queue: [`TuneService::query`]
+//! resolves against pre-warmed [`ServedModel`]s (rules plus a
+//! [`FlatForest`] snapshot of the entry's forest) under sharded read
+//! locks, falling back to the MPICH default heuristic for untuned
+//! signatures. Warm queries are sub-millisecond; latencies land in the
+//! `serve.query_latency_us` histogram.
+
+use crate::index::SharedStore;
+use crate::queue::{JobId, JobQueue, JobState, JobStatus, Priority};
+use acclaim_collectives::{mpich_default, Collective};
+use acclaim_core::{Acclaim, AcclaimConfig, TuningFile, WarmStart};
+use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, Point};
+use acclaim_ml::FlatForest;
+use acclaim_netsim::Fingerprint;
+use acclaim_obs::Obs;
+use acclaim_store::{
+    entry_from_outcome, warm_start_from_probe, ClusterSignature, Compatibility, EntryFormat,
+    StoreEntry,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// A request to ensure a job configuration is tuned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneRequest {
+    /// The environment measurements come from.
+    pub dataset: DatasetConfig,
+    /// Learner configuration and feature space.
+    pub config: AcclaimConfig,
+    /// Collectives to tune, in order.
+    pub collectives: Vec<Collective>,
+    /// Queue priority (not part of the work fingerprint: requests
+    /// differing only in priority coalesce).
+    pub priority: Priority,
+}
+
+impl TuneRequest {
+    /// Fingerprint of the *work* this request names — used to coalesce
+    /// identical requests behind one training run. Serialization-based,
+    /// so any config or dataset difference separates the fingerprints.
+    pub fn work_fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_str(&serde_json::to_string(&self.dataset).unwrap_or_default());
+        f.write_str(&serde_json::to_string(&self.config).unwrap_or_default());
+        for c in &self.collectives {
+            f.write_str(c.name());
+        }
+        f.finish()
+    }
+}
+
+/// The outcome of a tune job, shared by every coalesced waiter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The tuning file, one table per requested collective.
+    pub tuning_file: TuningFile,
+    /// Store keys of the signatures this job touched, in collective
+    /// order.
+    pub keys: Vec<String>,
+    /// Total training iterations across collectives (0 when served
+    /// from cache).
+    pub iterations: usize,
+    /// Freshly measured points persisted by this job.
+    pub fresh_points: usize,
+    /// Whether every trained collective converged by criterion (cached
+    /// results report whatever the producing run persisted: `true`).
+    pub converged: bool,
+    /// Whether the result was served from cache without training.
+    pub cached: bool,
+}
+
+/// A single algorithm selection answered by [`TuneService::query`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The environment the query is about.
+    pub dataset: DatasetConfig,
+    /// The tuning configuration the rules were trained under.
+    pub config: AcclaimConfig,
+    /// The collective being invoked.
+    pub collective: Collective,
+    /// The job's point (nodes, ppn, message size).
+    pub point: Point,
+}
+
+/// Where a query's selection came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuerySource {
+    /// A tuned rule table for this exact signature.
+    Tuned,
+    /// The MPICH default heuristic (signature not tuned yet).
+    Default,
+}
+
+/// The answer to a [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Selected algorithm name.
+    pub algorithm: String,
+    /// Model-predicted latency (µs) for the selection, when tuned.
+    pub predicted_us: Option<f64>,
+    /// Selection provenance.
+    pub source: QuerySource,
+}
+
+/// Test/diagnostic hooks invoked at deterministic points of the worker
+/// loop. Production configs leave them empty.
+#[derive(Clone, Default)]
+pub struct ServiceHooks {
+    /// Called before each collective trains, with the running job's
+    /// id. Tests use this to hold a job mid-run at a deterministic
+    /// boundary (e.g. to cancel it).
+    pub before_collective: Option<Arc<dyn Fn(JobId) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ServiceHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHooks")
+            .field("before_collective", &self.before_collective.is_some())
+            .finish()
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads pulling from the job queue.
+    pub workers: usize,
+    /// Concurrent training allocations (simulated cluster slots);
+    /// cache-served responses bypass slots entirely.
+    pub slots: usize,
+    /// Lock shards for the signature index and rule cache.
+    pub shards: usize,
+    /// Anti-starvation window for the queue (0 disables).
+    pub starvation_window: u64,
+    /// On-disk format for entries this service writes.
+    pub format: EntryFormat,
+    /// Deterministic test hooks.
+    pub hooks: ServiceHooks,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            slots: 4,
+            shards: 16,
+            starvation_window: 8,
+            format: EntryFormat::Binary,
+            hooks: ServiceHooks::default(),
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent training allocations.
+#[derive(Debug)]
+struct SlotPool {
+    max: usize,
+    busy: Mutex<usize>,
+    cv: Condvar,
+}
+
+struct SlotGuard<'a> {
+    pool: &'a SlotPool,
+}
+
+impl SlotPool {
+    fn new(max: usize) -> Self {
+        SlotPool {
+            max: max.max(1),
+            busy: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SlotGuard<'_> {
+        let mut busy = self.busy.lock().unwrap();
+        while *busy >= self.max {
+            busy = self.cv.wait(busy).unwrap();
+        }
+        *busy += 1;
+        SlotGuard { pool: self }
+    }
+
+    fn in_use(&self) -> usize {
+        *self.busy.lock().unwrap()
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        *self.pool.busy.lock().unwrap() -= 1;
+        self.pool.cv.notify_one();
+    }
+}
+
+/// A pre-warmed, immutable serving snapshot of one store entry: the
+/// rule table for sub-microsecond selection plus a [`FlatForest`] for
+/// latency prediction.
+#[derive(Debug)]
+pub(crate) struct ServedModel {
+    signature: ClusterSignature,
+    rules: acclaim_core::CollectiveRules,
+    forest: FlatForest,
+}
+
+impl ServedModel {
+    fn from_entry(entry: &StoreEntry) -> Self {
+        ServedModel {
+            signature: entry.signature.clone(),
+            rules: entry.rules.clone(),
+            forest: FlatForest::from_forest(entry.model.forest()),
+        }
+    }
+}
+
+/// Sharded map from store key to [`ServedModel`].
+#[derive(Debug)]
+struct RuleCache {
+    shards: Vec<RwLock<HashMap<String, Arc<ServedModel>>>>,
+}
+
+impl RuleCache {
+    fn new(shards: usize) -> Self {
+        RuleCache {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, Arc<ServedModel>>> {
+        let mut f = Fingerprint::new();
+        f.write_str(key);
+        &self.shards[(f.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn insert(&self, model: Arc<ServedModel>) {
+        let key = model.signature.key();
+        self.shard_for(&key).write().unwrap().insert(key, model);
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<ServedModel>> {
+        self.shard_for(key).read().unwrap().get(key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+/// Pre-registered `serve.*` metric handles (lock-free after creation).
+#[derive(Debug)]
+struct ServeCounters {
+    tune_requests: acclaim_obs::Counter,
+    coalesced: acclaim_obs::Counter,
+    cache_served: acclaim_obs::Counter,
+    trained: acclaim_obs::Counter,
+    completed: acclaim_obs::Counter,
+    cancelled: acclaim_obs::Counter,
+    failed: acclaim_obs::Counter,
+    queries: acclaim_obs::Counter,
+    query_defaults: acclaim_obs::Counter,
+    queue_depth: acclaim_obs::Gauge,
+    slots_in_use: acclaim_obs::Gauge,
+    query_latency_us: acclaim_obs::Histogram,
+}
+
+impl ServeCounters {
+    fn new(obs: &Obs) -> Self {
+        ServeCounters {
+            tune_requests: obs.counter("serve.tune_requests"),
+            coalesced: obs.counter("serve.coalesced"),
+            cache_served: obs.counter("serve.cache_served"),
+            trained: obs.counter("serve.trained"),
+            completed: obs.counter("serve.completed"),
+            cancelled: obs.counter("serve.cancelled"),
+            failed: obs.counter("serve.failed"),
+            queries: obs.counter("serve.queries"),
+            query_defaults: obs.counter("serve.query_defaults"),
+            queue_depth: obs.gauge("serve.queue_depth"),
+            slots_in_use: obs.gauge("serve.slots_in_use"),
+            query_latency_us: obs.histogram("serve.query_latency_us"),
+        }
+    }
+}
+
+/// A point-in-time view of service activity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Free training slots.
+    pub slots_free: usize,
+    /// Signatures in the store index.
+    pub entries: usize,
+    /// Pre-warmed serving models in memory.
+    pub cached_models: usize,
+    /// Tune requests accepted.
+    pub tune_requests: u64,
+    /// Jobs finished successfully (including cache-served).
+    pub completed: u64,
+    /// Jobs that actually trained.
+    pub trained: u64,
+    /// Jobs served from cache without training.
+    pub cache_served: u64,
+    /// Requests coalesced behind another identical job.
+    pub coalesced: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed on I/O errors.
+    pub failed: u64,
+    /// Rule queries answered.
+    pub queries: u64,
+    /// Queries answered by the default heuristic.
+    pub query_defaults: u64,
+    /// Median query latency (µs, bucket-resolution upper bound).
+    pub query_latency_p50_us: f64,
+}
+
+pub(crate) struct ServiceInner {
+    shared: SharedStore,
+    queue: JobQueue,
+    slots: SlotPool,
+    cache: RuleCache,
+    obs: Obs,
+    format: EntryFormat,
+    hooks: ServiceHooks,
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<JobId, Arc<JobState>>>,
+    counters: ServeCounters,
+}
+
+/// Handle to one submitted job.
+#[derive(Clone)]
+pub struct JobHandle {
+    inner: Arc<ServiceInner>,
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The job's id (stable for the service's lifetime).
+    pub fn id(&self) -> JobId {
+        self.state.id()
+    }
+
+    /// The job's current status (non-blocking).
+    pub fn status(&self) -> JobStatus {
+        self.state.status()
+    }
+
+    /// Request cancellation. Queued jobs cancel immediately; running
+    /// jobs cancel at the next collective boundary. Returns whether
+    /// the request could still take effect.
+    pub fn cancel(&self) -> bool {
+        self.inner.cancel(self.state.id())
+    }
+
+    /// Block until the job reaches a terminal status and return it.
+    pub fn wait(&self) -> JobStatus {
+        self.state.wait_terminal()
+    }
+
+    /// Block until the job has left the queue (running or terminal).
+    pub fn wait_started(&self) -> JobStatus {
+        self.state.wait_started()
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id()).finish()
+    }
+}
+
+/// The tuning-as-a-service front end. See the module docs.
+pub struct TuneService {
+    inner: Arc<ServiceInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TuneService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneService")
+            .field("entries", &self.inner.shared.len())
+            .finish()
+    }
+}
+
+impl TuneService {
+    /// Open the store at `dir`, prewarm the signature index and rule
+    /// cache from it in one scan, and start the worker pool.
+    pub fn open(dir: impl AsRef<Path>, config: ServeConfig, obs: Obs) -> io::Result<TuneService> {
+        let cache = RuleCache::new(config.shards);
+        let shared = SharedStore::open_with(dir, config.shards, |entry| {
+            cache.insert(Arc::new(ServedModel::from_entry(entry)));
+        })?;
+        obs.incr_counter("serve.prewarmed_models", cache.len() as u64);
+        let counters = ServeCounters::new(&obs);
+        let inner = Arc::new(ServiceInner {
+            shared,
+            queue: JobQueue::new(config.starvation_window),
+            slots: SlotPool::new(config.slots),
+            cache,
+            obs,
+            format: config.format,
+            hooks: config.hooks,
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+            counters,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("acclaim-serve-{i}"))
+                    .spawn(move || ServiceInner::worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(TuneService {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submit a tune request; returns immediately with a handle.
+    pub fn submit(&self, request: TuneRequest) -> JobHandle {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::new(JobState::new(id));
+        self.inner.jobs.lock().unwrap().insert(id, state.clone());
+        self.inner.counters.tune_requests.incr();
+        let fingerprint = request.work_fingerprint();
+        if !self
+            .inner
+            .queue
+            .push(request.priority, fingerprint, request, state.clone())
+        {
+            let failed = &self.inner.counters.failed;
+            state.set_with(JobStatus::Failed("service is shutting down".into()), || {
+                failed.incr();
+            });
+        }
+        self.inner
+            .counters
+            .queue_depth
+            .set(self.inner.queue.len() as f64);
+        JobHandle {
+            inner: self.inner.clone(),
+            state,
+        }
+    }
+
+    /// Answer a rule query from the pre-warmed cache (or the store, on
+    /// first touch), falling back to the MPICH default heuristic.
+    pub fn query(&self, request: &QueryRequest) -> QueryResponse {
+        let inner = &self.inner;
+        let start = std::time::Instant::now();
+        let _span = inner.obs.span("serve", "query");
+        let sig = ClusterSignature::new(
+            &request.dataset,
+            &request.config.space,
+            request.collective,
+            &request.config.learner.collection,
+        );
+        let response = match inner.serving_model(&sig) {
+            Some(m) => {
+                let algorithm = m.rules.select(request.point);
+                let row = request
+                    .point
+                    .features_with_algorithm(algorithm.index_within_collective());
+                QueryResponse {
+                    algorithm: algorithm.name().to_string(),
+                    predicted_us: Some(m.forest.predict(&row).exp()),
+                    source: QuerySource::Tuned,
+                }
+            }
+            None => {
+                let algorithm =
+                    mpich_default(request.collective, request.point.ranks(), request.point.msg_bytes);
+                inner.counters.query_defaults.incr();
+                QueryResponse {
+                    algorithm: algorithm.name().to_string(),
+                    predicted_us: None,
+                    source: QuerySource::Default,
+                }
+            }
+        };
+        inner.counters.queries.incr();
+        inner
+            .counters
+            .query_latency_us
+            .record(start.elapsed().as_secs_f64() * 1e6);
+        response
+    }
+
+    /// Cancel a job by id. See [`JobHandle::cancel`].
+    pub fn cancel(&self, id: JobId) -> bool {
+        self.inner.cancel(id)
+    }
+
+    /// Look up a job's status by id (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.inner.jobs.lock().unwrap().get(&id).map(|s| s.status())
+    }
+
+    /// A point-in-time activity snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            queue_depth: self.inner.queue.len(),
+            slots_free: self.inner.slots.max - self.inner.slots.in_use(),
+            entries: self.inner.shared.len(),
+            cached_models: self.inner.cache.len(),
+            tune_requests: c.tune_requests.get(),
+            completed: c.completed.get(),
+            trained: c.trained.get(),
+            cache_served: c.cache_served.get(),
+            coalesced: c.coalesced.get(),
+            cancelled: c.cancelled.get(),
+            failed: c.failed.get(),
+            queries: c.queries.get(),
+            query_defaults: c.query_defaults.get(),
+            query_latency_p50_us: c.query_latency_us.snapshot().quantile(0.5),
+        }
+    }
+
+    /// The shared store (for tests and maintenance tooling).
+    pub fn shared(&self) -> &SharedStore {
+        &self.inner.shared
+    }
+
+    /// Stop accepting work, finish in-flight jobs, cancel everything
+    /// still queued, and join the workers. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+        // Anything still queued was never popped: cancel it so waiters
+        // unblock.
+        for job in self.inner.queue.drain() {
+            job.state.request_cancel();
+            self.inner.finish(&job.state, JobStatus::Cancelled);
+        }
+    }
+}
+
+impl Drop for TuneService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ServiceInner {
+    /// Cancel by id: queued jobs finish immediately, running jobs are
+    /// flagged and cancel at the next collective boundary.
+    fn cancel(&self, id: JobId) -> bool {
+        if let Some(job) = self.queue.remove(id) {
+            job.state.request_cancel();
+            self.finish(&job.state, JobStatus::Cancelled);
+            self.counters.queue_depth.set(self.queue.len() as f64);
+            return true;
+        }
+        let state = self.jobs.lock().unwrap().get(&id).cloned();
+        match state {
+            Some(s) if !s.status().is_terminal() => {
+                s.request_cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Move one job to a terminal status, counting the transition.
+    fn finish(&self, state: &Arc<JobState>, status: JobStatus) {
+        let counter = match &status {
+            JobStatus::Done(_) => &self.counters.completed,
+            JobStatus::Cancelled => &self.counters.cancelled,
+            JobStatus::Failed(_) => &self.counters.failed,
+            _ => unreachable!("finish takes terminal statuses"),
+        };
+        state.set_with(status, || counter.incr());
+    }
+
+    /// A cached serving model for `sig`, loading from disk on first
+    /// touch (and verifying signature compatibility either way).
+    fn serving_model(&self, sig: &ClusterSignature) -> Option<Arc<ServedModel>> {
+        let key = sig.key();
+        if let Some(m) = self.cache.get(&key) {
+            if sig.compatibility(&m.signature) == Compatibility::Exact {
+                return Some(m);
+            }
+            return None;
+        }
+        let entry = self.shared.store().get(&key).ok().flatten()?;
+        if sig.compatibility(&entry.signature) != Compatibility::Exact {
+            return None;
+        }
+        let model = Arc::new(ServedModel::from_entry(&entry));
+        self.cache.insert(model.clone());
+        Some(model)
+    }
+
+    /// Serve a tune request purely from cache, if every collective has
+    /// an exact entry.
+    fn serve_cached(&self, request: &TuneRequest) -> Option<TuneResult> {
+        let mut tables = Vec::with_capacity(request.collectives.len());
+        let mut keys = Vec::with_capacity(request.collectives.len());
+        for &c in &request.collectives {
+            let sig = ClusterSignature::new(
+                &request.dataset,
+                &request.config.space,
+                c,
+                &request.config.learner.collection,
+            );
+            let m = self.serving_model(&sig)?;
+            keys.push(sig.key());
+            tables.push(m.rules.clone());
+        }
+        Some(TuneResult {
+            tuning_file: TuningFile { collectives: tables },
+            keys,
+            iterations: 0,
+            fresh_points: 0,
+            converged: true,
+            cached: true,
+        })
+    }
+
+    /// Train a request end to end. `Ok(None)` means the job was
+    /// cancelled mid-run (nothing persisted for incomplete
+    /// collectives; completed ones were already written back).
+    fn run_tune(
+        &self,
+        request: &TuneRequest,
+        state: &Arc<JobState>,
+    ) -> io::Result<Option<TuneResult>> {
+        let obs = &self.obs;
+        let db = BenchmarkDatabase::new(request.dataset.clone());
+        let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
+        let mut signatures = Vec::with_capacity(request.collectives.len());
+        for &c in &request.collectives {
+            let sig = ClusterSignature::new(
+                &request.dataset,
+                &request.config.space,
+                c,
+                &request.config.learner.collection,
+            );
+            let probe = self.shared.probe(&sig)?;
+            if let Some(warm) = warm_start_from_probe(&probe, obs) {
+                warms.insert(c, warm);
+            }
+            signatures.push(sig);
+        }
+
+        let hooks = self.hooks.clone();
+        let id = state.id();
+        let cancel_state = state.clone();
+        let (tuning, completed) = Acclaim::new(request.config.clone()).tune_while(
+            &db,
+            &request.collectives,
+            obs,
+            |c| warms.get(&c).cloned(),
+            move || {
+                if let Some(h) = &hooks.before_collective {
+                    h(id);
+                }
+                !cancel_state.is_cancelled()
+            },
+        );
+
+        // Write back whatever completed — even on a cancelled job the
+        // finished collectives' fresh measurements are kept.
+        let mut keys = Vec::with_capacity(tuning.reports.len());
+        let mut iterations = 0;
+        let mut fresh_points = 0;
+        let mut converged = true;
+        for (i, (c, outcome)) in tuning.reports.iter().enumerate() {
+            iterations += outcome.log.len();
+            converged &= outcome.converged;
+            let sig = &signatures[i];
+            keys.push(sig.key());
+            let Some(entry) = entry_from_outcome(sig, &tuning.tuning_file.collectives[i], outcome)
+            else {
+                continue;
+            };
+            let iters = if warms.contains_key(c) {
+                "store.warm_iterations"
+            } else {
+                "store.cold_iterations"
+            };
+            obs.incr_counter(iters, outcome.log.len() as u64);
+            fresh_points += entry.samples.len();
+            self.shared.put(&entry, self.format)?;
+            obs.incr_counter("store.entries_written", 1);
+            self.cache.insert(Arc::new(ServedModel::from_entry(&entry)));
+        }
+        if !completed {
+            return Ok(None);
+        }
+        Ok(Some(TuneResult {
+            tuning_file: tuning.tuning_file,
+            keys,
+            iterations,
+            fresh_points,
+            converged,
+            cached: false,
+        }))
+    }
+
+    fn worker_loop(inner: &Arc<ServiceInner>) {
+        while let Some(job) = inner.queue.pop_blocking() {
+            inner.counters.queue_depth.set(inner.queue.len() as f64);
+            if job.state.is_cancelled() {
+                inner.finish(&job.state, JobStatus::Cancelled);
+                continue;
+            }
+            // Coalesce identical queued requests behind this run.
+            let riders = inner.queue.take_matching(job.fingerprint);
+            inner.counters.coalesced.add(riders.len() as u64);
+            inner.counters.queue_depth.set(inner.queue.len() as f64);
+
+            let _span = inner.obs.span("serve", "job");
+            // Fast path: everything already tuned — serve from cache,
+            // no slot, no training.
+            if let Some(result) = inner.serve_cached(&job.request) {
+                inner.counters.cache_served.incr();
+                let result = Arc::new(result);
+                inner.finish(&job.state, JobStatus::Done(result.clone()));
+                for r in &riders {
+                    inner.finish(&r.state, JobStatus::Done(result.clone()));
+                }
+                continue;
+            }
+
+            let slot = inner.slots.acquire();
+            inner.counters.slots_in_use.set(inner.slots.in_use() as f64);
+            job.state.set(JobStatus::Running);
+            for r in &riders {
+                r.state.set(JobStatus::Running);
+            }
+            let outcome = inner.run_tune(&job.request, &job.state);
+            drop(slot);
+            inner.counters.slots_in_use.set(inner.slots.in_use() as f64);
+
+            match outcome {
+                Ok(Some(result)) => {
+                    inner.counters.trained.incr();
+                    let result = Arc::new(result);
+                    inner.finish(&job.state, JobStatus::Done(result.clone()));
+                    for r in &riders {
+                        inner.finish(&r.state, JobStatus::Done(result.clone()));
+                    }
+                }
+                Ok(None) => {
+                    // The primary was cancelled mid-run. Its riders
+                    // asked for the same work and still want it: any
+                    // not themselves cancelled go back in the queue.
+                    inner.finish(&job.state, JobStatus::Cancelled);
+                    for r in riders {
+                        if r.state.is_cancelled() {
+                            inner.finish(&r.state, JobStatus::Cancelled);
+                        } else {
+                            r.state.set(JobStatus::Queued);
+                            if !inner
+                                .queue
+                                .push(r.priority, r.fingerprint, r.request, r.state.clone())
+                            {
+                                inner.finish(
+                                    &r.state,
+                                    JobStatus::Failed("service is shutting down".into()),
+                                );
+                            }
+                        }
+                    }
+                    inner.counters.queue_depth.set(inner.queue.len() as f64);
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    inner.finish(&job.state, JobStatus::Failed(message.clone()));
+                    for r in &riders {
+                        inner.finish(&r.state, JobStatus::Failed(message.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acclaim_dataset::FeatureSpace;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("acclaim-serve-service-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// A `before_collective` hook that blocks exactly its first call
+    /// until the returned gate is opened. With one worker, the first
+    /// hook call belongs to the first submitted job, deterministically.
+    #[allow(clippy::type_complexity)]
+    fn first_call_gate() -> (ServiceHooks, Arc<(Mutex<bool>, Condvar)>, Arc<(Mutex<u32>, Condvar)>)
+    {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let calls = Arc::new(AtomicU64::new(0));
+        let hook_gate = gate.clone();
+        let hook_entered = entered.clone();
+        let hooks = ServiceHooks {
+            before_collective: Some(Arc::new(move |_id| {
+                if calls.fetch_add(1, Ordering::SeqCst) != 0 {
+                    return;
+                }
+                let (count, cv) = &*hook_entered;
+                {
+                    let mut c = count.lock().unwrap();
+                    *c += 1;
+                    cv.notify_all();
+                }
+                let (open, gcv) = &*hook_gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = gcv.wait(open).unwrap();
+                }
+            })),
+        };
+        (hooks, gate, entered)
+    }
+
+    fn await_entered(entered: &Arc<(Mutex<u32>, Condvar)>) {
+        let (count, cv) = &**entered;
+        let mut c = count.lock().unwrap();
+        while *c == 0 {
+            c = cv.wait(c).unwrap();
+        }
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (open, cv) = &**gate;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn request(seed: u64, collectives: Vec<Collective>) -> TuneRequest {
+        let mut dataset = DatasetConfig::tiny();
+        dataset.seed = seed;
+        let mut config = AcclaimConfig::new(FeatureSpace::tiny());
+        config.learner.max_iterations = 12;
+        TuneRequest {
+            dataset,
+            config,
+            collectives,
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn tune_then_cache_serve_then_query() {
+        let dir = temp_dir("roundtrip");
+        let service = TuneService::open(&dir, ServeConfig::default(), Obs::enabled()).unwrap();
+        let req = request(7, vec![Collective::Bcast]);
+
+        let first = service.submit(req.clone()).wait();
+        let JobStatus::Done(first) = first else {
+            panic!("expected Done, got {first:?}")
+        };
+        assert!(!first.cached);
+        assert!(first.fresh_points > 0);
+
+        // Second identical request: served from cache, same rules.
+        let second = service.submit(req.clone()).wait();
+        let JobStatus::Done(second) = second else {
+            panic!("expected Done")
+        };
+        assert!(second.cached);
+        assert_eq!(second.iterations, 0);
+        assert_eq!(second.tuning_file, first.tuning_file);
+        assert_eq!(second.keys, first.keys);
+
+        // Queries resolve against the tuned table.
+        let q = QueryRequest {
+            dataset: req.dataset.clone(),
+            config: req.config.clone(),
+            collective: Collective::Bcast,
+            point: Point::new(2, 2, 1024),
+        };
+        let resp = service.query(&q);
+        assert_eq!(resp.source, QuerySource::Tuned);
+        assert!(resp.predicted_us.unwrap() > 0.0);
+        let expected = first
+            .tuning_file
+            .select(Collective::Bcast, q.point)
+            .unwrap();
+        assert_eq!(resp.algorithm, expected.name());
+
+        // An untuned collective falls back to the MPICH default.
+        let q2 = QueryRequest {
+            collective: Collective::Allreduce,
+            ..q
+        };
+        let resp2 = service.query(&q2);
+        assert_eq!(resp2.source, QuerySource::Default);
+        assert!(resp2.predicted_us.is_none());
+
+        let stats = service.stats();
+        assert_eq!(stats.tune_requests, 2);
+        assert_eq!(stats.trained, 1);
+        assert_eq!(stats.cache_served, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.query_defaults, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancellation_mid_collection_releases_the_slot() {
+        // One worker, one slot. J1 blocks at its collective boundary
+        // via the hook; cancelling J1 must release the slot so J2
+        // trains to completion.
+        let dir = temp_dir("cancel-slot");
+        let (hooks, gate, entered) = first_call_gate();
+        let config = ServeConfig {
+            workers: 1,
+            slots: 1,
+            hooks,
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::enabled()).unwrap();
+
+        let j1 = service.submit(request(1, vec![Collective::Bcast]));
+        let j2 = service.submit(request(2, vec![Collective::Allreduce]));
+
+        // Wait until J1 is inside the hook (holding the only slot).
+        await_entered(&entered);
+        assert!(matches!(j2.status(), JobStatus::Queued));
+        assert!(j1.cancel());
+        // Open the gate: the hook returns, tune_while sees the flag.
+        open_gate(&gate);
+        assert!(matches!(j1.wait(), JobStatus::Cancelled));
+        // The slot was released: J2 runs to completion.
+        let JobStatus::Done(r2) = j2.wait() else {
+            panic!("J2 must complete after J1's cancellation")
+        };
+        assert!(!r2.cached);
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.slots_free, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_queued_requests_coalesce() {
+        // One worker; the first job holds the worker while identical
+        // requests pile up, then all coalesce behind one training run.
+        let dir = temp_dir("coalesce");
+        let (hooks, gate, entered) = first_call_gate();
+        let config = ServeConfig {
+            workers: 1,
+            slots: 1,
+            hooks,
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::enabled()).unwrap();
+
+        let _blocker = service.submit(request(1, vec![Collective::Bcast]));
+        await_entered(&entered);
+        // Three identical requests queue up behind the blocker.
+        let same = request(2, vec![Collective::Reduce]);
+        let handles: Vec<_> = (0..3).map(|_| service.submit(same.clone())).collect();
+        open_gate(&gate);
+        let results: Vec<_> = handles
+            .iter()
+            .map(|h| match h.wait() {
+                JobStatus::Done(r) => r,
+                other => panic!("expected Done, got {other:?}"),
+            })
+            .collect();
+        // All three share one result object (same training run).
+        assert!(Arc::ptr_eq(&results[0], &results[1]));
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.trained, 2, "blocker + one coalesced run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs_and_rejects_new_ones() {
+        let dir = temp_dir("shutdown");
+        let service =
+            TuneService::open(&dir, ServeConfig::default(), Obs::disabled()).unwrap();
+        service.submit(request(1, vec![Collective::Bcast])).wait();
+        service.shutdown();
+        let late = service.submit(request(2, vec![Collective::Bcast]));
+        assert!(matches!(late.wait(), JobStatus::Failed(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn work_fingerprint_separates_different_work_and_ignores_priority() {
+        let a = request(1, vec![Collective::Bcast]);
+        let mut b = a.clone();
+        b.priority = Priority::High;
+        assert_eq!(a.work_fingerprint(), b.work_fingerprint());
+        let mut c = a.clone();
+        c.dataset.seed = 2;
+        assert_ne!(a.work_fingerprint(), c.work_fingerprint());
+        let mut d = a.clone();
+        d.collectives = vec![Collective::Allgather];
+        assert_ne!(a.work_fingerprint(), d.work_fingerprint());
+        let mut e = a.clone();
+        e.config.learner.max_iterations += 1;
+        assert_ne!(a.work_fingerprint(), e.work_fingerprint());
+    }
+}

@@ -90,12 +90,14 @@
 
 #![warn(missing_docs)]
 
+mod rows;
 mod signature;
 mod store;
 mod warm;
 
 pub use signature::{ClusterSignature, Compatibility, NEAR_WEIGHT_FLOOR};
 pub use store::{
-    GcReport, ImportReport, Probe, StoreEntry, StoreSummary, TuningStore, STORE_SCHEMA_VERSION,
+    EntryFormat, GcReport, ImportReport, Probe, StoreEntry, StoreSummary, TuningStore,
+    STORE_SCHEMA_VERSION,
 };
-pub use warm::tune_with_store;
+pub use warm::{entry_from_outcome, tune_with_store, warm_start_from_probe};

@@ -25,9 +25,12 @@
 //! split `cold_iterations` / `warm_iterations`.
 
 use crate::signature::ClusterSignature;
-use crate::store::{StoreEntry, TuningStore, STORE_SCHEMA_VERSION};
+use crate::store::{Probe, StoreEntry, TuningStore, STORE_SCHEMA_VERSION};
 use acclaim_collectives::Collective;
-use acclaim_core::{Acclaim, AcclaimConfig, JobTuning, TrainingSample, WarmStart};
+use acclaim_core::{
+    Acclaim, AcclaimConfig, CollectiveRules, JobTuning, TrainingOutcome, TrainingSample,
+    WarmStart,
+};
 use acclaim_dataset::BenchmarkDatabase;
 use acclaim_netsim::Fingerprint;
 use acclaim_obs::Obs;
@@ -55,6 +58,59 @@ fn thin_priors(samples: &[TrainingSample], w: f64) -> Vec<TrainingSample> {
         .collect()
 }
 
+/// Turn a probe result into the warm start the training run will use,
+/// counting the outcome on `obs` (`store.hits` / `store.exact_hits` /
+/// `store.near_hits` / `store.misses` / `store.quarantined_entries`).
+/// Returns `None` on a miss.
+///
+/// This is the exact hit-to-warm-start policy of [`tune_with_store`],
+/// split out so other orchestrators (the `acclaim-serve` daemon) reuse
+/// it and stay bit-identical to the CLI path by construction.
+pub fn warm_start_from_probe(probe: &Probe, obs: &Obs) -> Option<WarmStart> {
+    obs.incr_counter("store.quarantined_entries", probe.quarantined as u64);
+    if let Some(e) = &probe.exact {
+        obs.incr_counter("store.hits", 1);
+        obs.incr_counter("store.exact_hits", 1);
+        Some(WarmStart::from_exact(e.samples.clone()))
+    } else if let Some((e, w)) = &probe.near {
+        obs.incr_counter("store.hits", 1);
+        obs.incr_counter("store.near_hits", 1);
+        Some(WarmStart::from_priors(thin_priors(&e.samples, *w)))
+    } else {
+        obs.incr_counter("store.misses", 1);
+        None
+    }
+}
+
+/// Build the store entry persisting one collective's converged outcome
+/// under `signature`. Rows are stored under the *current* signature,
+/// so foreign prior rows (the first `prior_points` of `collected`) are
+/// sliced off — they belong to the entry they came from. Returns
+/// `None` when nothing fresh was measured (a pure exact-hit replay):
+/// the existing entry already holds everything.
+///
+/// Like [`warm_start_from_probe`], this is the write-back half of
+/// [`tune_with_store`], shared with the serving daemon.
+pub fn entry_from_outcome(
+    signature: &ClusterSignature,
+    rules: &CollectiveRules,
+    outcome: &TrainingOutcome,
+) -> Option<StoreEntry> {
+    let samples = outcome.collected[outcome.prior_points..].to_vec();
+    if samples.is_empty() {
+        return None;
+    }
+    Some(StoreEntry {
+        version: STORE_SCHEMA_VERSION,
+        signature: signature.clone(),
+        samples,
+        model: outcome.model.clone(),
+        rules: rules.clone(),
+        iterations: outcome.log.len(),
+        collection_wall_us: outcome.stats.wall_us,
+    })
+}
+
 /// Tune `collectives` with warm starts probed from `store`, then write
 /// the converged measurements, forest, and rules back.
 ///
@@ -71,13 +127,6 @@ pub fn tune_with_store(
     collectives: &[Collective],
     obs: &Obs,
 ) -> io::Result<JobTuning> {
-    let m_hits = obs.counter("store.hits");
-    let m_exact = obs.counter("store.exact_hits");
-    let m_near = obs.counter("store.near_hits");
-    let m_misses = obs.counter("store.misses");
-    let m_written = obs.counter("store.entries_written");
-    let m_quarantined = obs.counter("store.quarantined_entries");
-
     // Probe every collective up front (I/O, fallible), then hand the
     // results to the infallible training pipeline.
     let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
@@ -85,17 +134,8 @@ pub fn tune_with_store(
     for &c in collectives {
         let sig = ClusterSignature::new(db.config(), &config.space, c, &config.learner.collection);
         let probe = store.probe(&sig)?;
-        m_quarantined.add(probe.quarantined as u64);
-        if let Some(e) = probe.exact {
-            m_hits.incr();
-            m_exact.incr();
-            warms.insert(c, WarmStart::from_exact(e.samples));
-        } else if let Some((e, w)) = probe.near {
-            m_hits.incr();
-            m_near.incr();
-            warms.insert(c, WarmStart::from_priors(thin_priors(&e.samples, w)));
-        } else {
-            m_misses.incr();
+        if let Some(warm) = warm_start_from_probe(&probe, obs) {
+            warms.insert(c, warm);
         }
         signatures.insert(c, sig);
     }
@@ -104,31 +144,21 @@ pub fn tune_with_store(
         warms.get(&c).cloned()
     });
 
-    // Write back. Rows are stored under the *current* signature, so
-    // foreign prior rows (the first `prior_points` of `collected`) are
-    // sliced off — they belong to the entry they came from.
+    // Write back whatever was freshly measured.
     for (i, (c, outcome)) in tuning.reports.iter().enumerate() {
-        let samples = outcome.collected[outcome.prior_points..].to_vec();
-        if samples.is_empty() {
+        let Some(entry) =
+            entry_from_outcome(&signatures[c], &tuning.tuning_file.collectives[i], outcome)
+        else {
             continue;
-        }
-        let iters = obs.counter(if warms.contains_key(c) {
+        };
+        let iters = if warms.contains_key(c) {
             "store.warm_iterations"
         } else {
             "store.cold_iterations"
-        });
-        iters.add(outcome.log.len() as u64);
-        let entry = StoreEntry {
-            version: STORE_SCHEMA_VERSION,
-            signature: signatures[c].clone(),
-            samples,
-            model: outcome.model.clone(),
-            rules: tuning.tuning_file.collectives[i].clone(),
-            iterations: outcome.log.len(),
-            collection_wall_us: outcome.stats.wall_us,
         };
+        obs.incr_counter(iters, outcome.log.len() as u64);
         store.put(&entry)?;
-        m_written.incr();
+        obs.incr_counter("store.entries_written", 1);
     }
     Ok(tuning)
 }

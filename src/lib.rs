@@ -13,6 +13,7 @@
 //! | [`dataset`] | feature space, benchmark database, traces |
 //! | [`core`] | the autotuner: selection, convergence, parallel collection, rules |
 //! | [`store`] | persistent cross-job tuning store with warm starts |
+//! | [`serve`] | tuning-as-a-service: job queue, shared store index, rule serving |
 //!
 //! See `ARCHITECTURE.md` in the repository root for the dependency
 //! graph and a walkthrough of one tuning iteration.
@@ -98,6 +99,7 @@ pub use acclaim_dataset as dataset;
 pub use acclaim_ml as ml;
 pub use acclaim_netsim as netsim;
 pub use acclaim_obs as obs;
+pub use acclaim_serve as serve;
 pub use acclaim_store as store;
 
 /// The commonly used types, one `use` away.
@@ -124,6 +126,9 @@ pub mod prelude {
         Allocation, Cluster, FaultModel, FlowSim, NetworkParams, NoiseModel, RoundSim, Topology,
     };
     pub use acclaim_obs::{Diag, Obs};
+    pub use acclaim_serve::{
+        JobStatus, Priority, ServeConfig, TuneRequest, TuneService,
+    };
     pub use acclaim_store::{
         tune_with_store, ClusterSignature, Compatibility, StoreEntry, TuningStore,
     };

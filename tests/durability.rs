@@ -17,7 +17,7 @@
 //!    counters) rather than an `Err`.
 
 use acclaim::prelude::*;
-use acclaim::store::GcReport;
+use acclaim::store::{EntryFormat, GcReport};
 use std::path::PathBuf;
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -216,6 +216,80 @@ fn gc_counts_unremovable_files_as_failed_and_continues() {
         );
     }
     std::fs::set_permissions(&dir, writable).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_rows_survive_roundtrip_and_torn_binary_quarantines() {
+    let dir = temp_dir("acclaim-durability-binary");
+    let store = TuningStore::open(&dir).unwrap();
+    let cfg = config();
+    let db = db();
+
+    // Tune once (JSON rows), then promote the entry to the binary row
+    // format; the stale JSON file is retired and the key still serves.
+    tune_with_store(&store, &cfg, &db, &[Collective::Bcast], &Obs::disabled()).unwrap();
+    let key = store.keys().unwrap().remove(0);
+    let entry = store.get(&key).unwrap().unwrap();
+    store.put_with(&entry, EntryFormat::Binary).unwrap();
+    assert!(!store.root().join(format!("{key}.json")).exists());
+    let bin_path = store.root().join(format!("{key}.bin"));
+    assert!(bin_path.exists());
+
+    // The binary row round-trips bit-identically.
+    let reread = store.get(&key).unwrap().unwrap();
+    assert_eq!(
+        serde_json::to_string(&entry).unwrap(),
+        serde_json::to_string(&reread).unwrap(),
+        "binary rows must round-trip without drift"
+    );
+
+    // Torn binary write published at the final name: reads as absent,
+    // degrades the probe to a counted quarantine, and gc reclaims it —
+    // the same contract the JSON format keeps.
+    let bytes = std::fs::read(&bin_path).unwrap();
+    std::fs::write(&bin_path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(store.get(&key).unwrap().is_none());
+    let probe = store.probe(&entry.signature).unwrap();
+    assert!(probe.exact.is_none() && probe.near.is_none());
+    assert_eq!(probe.quarantined, 1);
+    let report = store.gc().unwrap();
+    assert_eq!(
+        report,
+        GcReport {
+            kept: 0,
+            removed: 1,
+            skipped: 0,
+            failed: 0
+        }
+    );
+    assert!(!bin_path.exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_sweeps_crashed_binary_writer_debris() {
+    let dir = temp_dir("acclaim-durability-bin-debris");
+    let store = TuningStore::open(&dir).unwrap();
+
+    // A binary writer that died between create and rename leaves
+    // `<key>.bin.tmp`; it is never listed as a key and gc reclaims it.
+    let debris = store.root().join("fedcba9876543210.bin.tmp");
+    std::fs::write(&debris, [0u8; 7]).unwrap();
+    assert!(store.keys().unwrap().is_empty(), "debris must not be a key");
+    let report = store.gc().unwrap();
+    assert_eq!(
+        report,
+        GcReport {
+            kept: 0,
+            removed: 1,
+            skipped: 0,
+            failed: 0
+        }
+    );
+    assert!(!debris.exists());
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
