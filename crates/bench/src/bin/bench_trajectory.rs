@@ -1,13 +1,16 @@
 //! `bench_trajectory` — the PR's machine-readable perf trajectory.
 //!
-//! Times the workloads recent PRs optimized and emits `BENCH_pr7.json`
+//! Times the workloads recent PRs optimized and emits `BENCH_pr8.json`
 //! at the repository root (override with `--out PATH`):
 //!
 //! * the candidate variance scan, pointer-chasing vs flat SoA engine,
 //!   at the ablation shape (n≈800 samples, 64 trees, 1944 candidates);
 //! * the flow-level DES on a collective trace, binary-heap vs calendar
 //!   event queue;
-//! * one end-to-end tune on the tiny grid (wall time, flat engine);
+//! * one end-to-end tune on the tiny grid (wall time, flat engine),
+//!   paired telemetry-off vs telemetry-on — the `telemetry_overhead`
+//!   ratio is the cost of the observability contract and should stay
+//!   near 1.0;
 //! * one warm rule query through the `acclaim-serve` service (cache
 //!   hit against a pre-warmed serving model — the daemon's steady-state
 //!   lookup path, expected well under a millisecond).
@@ -53,6 +56,7 @@ struct MediansUs {
     des_binary_heap: f64,
     des_calendar: f64,
     tune_e2e: f64,
+    tune_e2e_obs: f64,
     serve_query_warm: f64,
 }
 
@@ -60,6 +64,9 @@ struct MediansUs {
 struct Speedups {
     variance_scan: f64,
     des: f64,
+    /// Telemetry-on over telemetry-off e2e tune wall time (≈1.0 when
+    /// the instrumentation keeps its behaviorally-inert promise cheap).
+    telemetry_overhead: f64,
 }
 
 #[derive(Serialize)]
@@ -153,7 +160,7 @@ fn main() {
         }
     }
     let out = out.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr7.json")
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr8.json")
     });
 
     // -- Variance scan, pointer vs flat, at the ablation shape. --------
@@ -205,15 +212,33 @@ fn main() {
     eprintln!("des_binary_heap: {des_heap:.1} µs");
     eprintln!("des_calendar:    {des_cal:.1} µs");
 
-    // -- End-to-end tune on the tiny grid (flat engine). ---------------
+    // -- End-to-end tune on the tiny grid (flat engine), telemetry
+    // off vs fully instrumented. Both sides keep their memoized
+    // database across reps so the pairing isolates the recorder cost;
+    // the shared recorder's span log grows across the handful of reps,
+    // which is negligible next to a tune. -------------------------------
     let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+    let obs = acclaim_obs::Obs::enabled();
+    let db_obs = BenchmarkDatabase::new(DatasetConfig::tiny()).with_obs(&obs);
     let mut tune_cfg = AcclaimConfig::new(FeatureSpace::tiny());
     tune_cfg.learner.criterion =
         CriterionConfig::CumulativeVariance(VarianceConvergence::relative(4, 0.2));
-    let tune = median_us(1, 3, || {
-        black_box(Acclaim::new(tune_cfg.clone()).tune(&db, &[Collective::Bcast]));
-    });
-    eprintln!("tune_e2e: {tune:.1} µs");
+    let (tune, tune_obs) = paired_median_us(
+        1,
+        3,
+        || {
+            black_box(Acclaim::new(tune_cfg.clone()).tune(&db, &[Collective::Bcast]));
+        },
+        || {
+            black_box(Acclaim::new(tune_cfg.clone()).tune_with_obs(
+                &db_obs,
+                &[Collective::Bcast],
+                &obs,
+            ));
+        },
+    );
+    eprintln!("tune_e2e:     {tune:.1} µs");
+    eprintln!("tune_e2e_obs: {tune_obs:.1} µs");
 
     // -- Warm rule query through the serving layer. --------------------
     let serve_query = {
@@ -246,7 +271,7 @@ fn main() {
     eprintln!("serve_query_warm: {serve_query:.1} µs");
 
     let trajectory = Trajectory {
-        pr: 7,
+        pr: 8,
         schema_version: BENCH_SCHEMA_VERSION,
         shape: Shape {
             n_samples: N_SAMPLES,
@@ -259,11 +284,13 @@ fn main() {
             des_binary_heap: des_heap,
             des_calendar: des_cal,
             tune_e2e: tune,
+            tune_e2e_obs: tune_obs,
             serve_query_warm: serve_query,
         },
         speedups: Speedups {
             variance_scan: pointer / flat,
             des: des_heap / des_cal,
+            telemetry_overhead: tune_obs / tune,
         },
     };
     let text =
@@ -302,6 +329,7 @@ fn compare_against(baseline: &PathBuf, current: &Trajectory) {
         ("des_binary_heap", current.medians_us.des_binary_heap),
         ("des_calendar", current.medians_us.des_calendar),
         ("tune_e2e", current.medians_us.tune_e2e),
+        ("tune_e2e_obs", current.medians_us.tune_e2e_obs),
         ("serve_query_warm", current.medians_us.serve_query_warm),
     ];
     let mut regressed = 0;

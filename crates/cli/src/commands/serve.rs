@@ -7,12 +7,17 @@
 //! line; `Tune` blocks its connection until the job finishes
 //! (identical concurrent requests coalesce server-side).
 //!
-//! `client` is the matching client. `--op tune|query|stats|shutdown`
-//! sends one request; `--load N` drives N deterministic tune sessions
-//! over `--clients` concurrent connections using the seeded request
-//! pool from [`acclaim_serve::loadgen`] — the summary line it prints
-//! (including the run fingerprint) depends only on `--seed`, never on
-//! scheduling, so CI can assert on it verbatim.
+//! `client` is the matching client. An op (positional, or `--op`) of
+//! `tune|query|stats|metrics|trace|watch|shutdown` sends requests:
+//! `metrics` scrapes the live metrics (Prometheus text, or the JSON
+//! exposition with `--json`), `trace` dumps recent flight-recorder
+//! records, and `watch` polls a refreshing one-line summary. `--load N`
+//! drives N deterministic tune sessions (each with follow-up queries
+//! and drift observations) over `--clients` concurrent connections
+//! using the seeded request pool from [`acclaim_serve::loadgen`] — the
+//! first summary line it prints (including the run fingerprint) depends
+//! only on `--seed`, never on scheduling, so CI can assert on it
+//! verbatim; a second line reports client-observed latency quantiles.
 
 use crate::args::Args;
 use crate::trace::TraceOutputs;
@@ -39,6 +44,8 @@ fn socket_path(args: &Args) -> String {
 #[cfg(unix)]
 mod unix {
     use super::*;
+    use acclaim_dataset::BenchmarkDatabase;
+    use acclaim_obs::{FlightRecorder, HistogramSnapshot, Obs};
     use acclaim_serve::protocol::{
         decode_request, decode_response, encode_request, encode_response, handle_request,
         WireRequest, WireResponse,
@@ -64,9 +71,11 @@ mod unix {
     }
 
     /// `acclaim serve --store DIR [--socket PATH] [--workers N]
-    /// [--slots N] [--shards N] [--format json|binary]`
+    /// [--slots N] [--shards N] [--format json|binary] [--flight N]
+    /// [--slow-log FACTOR]`
     ///
-    /// Runs until a client sends `Shutdown`.
+    /// Runs until a client sends `Shutdown`; the exit report prints the
+    /// `serve.*` counters and gauges plus phase-latency quantiles.
     pub fn serve(args: &Args, diag: &Diag) -> Result<String, String> {
         let dir = args
             .get("store")
@@ -89,6 +98,9 @@ mod unix {
                 "binary" => EntryFormat::Binary,
                 other => return Err(format!("unknown --format '{other}' (json | binary)")),
             },
+            flight_capacity: args.num_or("flight", 256usize)?,
+            slow_log_factor: args.get_num::<f64>("slow-log")?,
+            diag: *diag,
             ..ServeConfig::default()
         };
 
@@ -148,6 +160,31 @@ mod unix {
                 counters.join(" ")
             }
         );
+        let telemetry = |name: &str| name.starts_with("serve.") || name.starts_with("drift.");
+        let gauges: Vec<String> = snap
+            .metrics
+            .gauges
+            .iter()
+            .filter(|(name, _)| telemetry(name))
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        if !gauges.is_empty() {
+            report.push_str(&format!("serve gauges (obs): {}\n", gauges.join(" ")));
+        }
+        for (name, hist) in snap
+            .metrics
+            .histograms
+            .iter()
+            .filter(|(name, hist)| telemetry(name) && hist.count > 0)
+        {
+            report.push_str(&format!(
+                "serve histogram {name}: count={} p50={:.0}us p95={:.0}us p99={:.0}us\n",
+                hist.count,
+                hist.quantile(0.5),
+                hist.quantile(0.95),
+                hist.quantile(0.99),
+            ));
+        }
         for line in outputs.write(&obs)? {
             report.push_str(&line);
             report.push('\n');
@@ -241,9 +278,11 @@ mod unix {
     }
 
     /// `acclaim client [--socket PATH] [--wait-server SECS]
-    /// (--op tune|query|stats|shutdown | --load N)` plus the request
-    /// shape options (`--pool`, `--pool-index`, `--seed`, `--priority`,
-    /// `--clients`, `--nodes`, `--ppn`, `--msg`).
+    /// (<op> | --op OP | --load N)` where OP is
+    /// `tune|query|stats|metrics|trace|watch|shutdown`, plus the
+    /// request shape options (`--pool`, `--pool-index`, `--seed`,
+    /// `--priority`, `--clients`, `--queries`, `--nodes`, `--ppn`,
+    /// `--msg`, `--last`, `--json`, `--refresh`, `--interval-ms`).
     pub fn client(args: &Args, diag: &Diag) -> Result<String, String> {
         let socket = socket_path(args);
         let wait = args.num_or("wait-server", 0u64)?;
@@ -255,7 +294,15 @@ mod unix {
         }
 
         let mut conn = Connection::open(&socket, wait)?;
-        let op = args.get_or("op", "stats");
+        // `client metrics` and `client --op metrics` are equivalent;
+        // the positional form reads better for the telemetry verbs.
+        let op = match args.action.as_deref() {
+            Some(action) => action,
+            None => args.get_or("op", "stats"),
+        };
+        if op == "watch" {
+            return watch(args, diag, &mut conn);
+        }
         let request = match op {
             "tune" => {
                 let index = args.num_or("pool-index", 0usize)?;
@@ -282,18 +329,88 @@ mod unix {
                 }
             }
             "stats" => WireRequest::Stats,
+            "metrics" => WireRequest::Metrics,
+            "trace" => WireRequest::Trace {
+                last: args.num_or("last", 32u64)?,
+            },
             "shutdown" => WireRequest::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown --op '{other}' (tune | query | stats | shutdown)"
+                    "unknown op '{other}' (tune | query | stats | metrics | trace | watch | \
+                     shutdown)"
                 ))
             }
         };
         let response = conn.round_trip(&request)?;
-        render_response(&response)
+        render_response(&response, args.flag("json"))
     }
 
-    fn render_response(response: &WireResponse) -> Result<String, String> {
+    /// `client watch`: poll stats + metrics every `--interval-ms`,
+    /// emitting one summary line per refresh through `diag` (so it
+    /// streams) and returning the transcript. `--refresh N` bounds the
+    /// ticks, keeping the command scriptable.
+    fn watch(args: &Args, diag: &Diag, conn: &mut Connection) -> Result<String, String> {
+        let refresh = args.num_or("refresh", 5usize)?.max(1);
+        let interval_ms = args.num_or("interval-ms", 1000u64)?;
+        let mut out = String::new();
+        for tick in 0..refresh {
+            let stats = match conn.round_trip(&WireRequest::Stats)? {
+                WireResponse::Stats { stats } => stats,
+                other => return Err(format!("unexpected reply to Stats: {other:?}")),
+            };
+            let json = match conn.round_trip(&WireRequest::Metrics)? {
+                WireResponse::Metrics { json, .. } => json,
+                other => return Err(format!("unexpected reply to Metrics: {other:?}")),
+            };
+            let parsed: serde_json::Value = serde_json::from_str(&json)
+                .map_err(|e| format!("daemon sent unparseable metrics JSON: {e}"))?;
+            let hist_p50 = |name: &str| {
+                parsed
+                    .get("histograms")
+                    .and_then(|h| h.get(name))
+                    .and_then(|h| h.get("p50"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            };
+            let gauge = |name: &str| {
+                parsed
+                    .get("gauges")
+                    .and_then(|g| g.get(name))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            };
+            let line = format!(
+                "watch[{tick}] queue={} active={} slots_free={} entries={} models={} \
+                 requests={} trained={} cached={} queries={} e2e_p50={:.0}us query_p50={:.0}us \
+                 drift_obs={:.0}",
+                stats.queue_depth,
+                gauge("serve.active_jobs"),
+                stats.slots_free,
+                stats.entries,
+                stats.cached_models,
+                stats.tune_requests,
+                stats.trained,
+                stats.cache_served,
+                stats.queries,
+                hist_p50("serve.phase.total_us"),
+                hist_p50("serve.query_latency_us"),
+                parsed
+                    .get("counters")
+                    .and_then(|c| c.get("drift.observations"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0),
+            );
+            diag.progress(&line);
+            out.push_str(&line);
+            out.push('\n');
+            if tick + 1 < refresh {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+        }
+        Ok(out)
+    }
+
+    fn render_response(response: &WireResponse, json: bool) -> Result<String, String> {
         match response {
             WireResponse::Tuned {
                 job,
@@ -340,6 +457,55 @@ mod unix {
                 stats.query_defaults,
                 stats.query_latency_p50_us,
             )),
+            WireResponse::Metrics { prometheus, json: payload } => {
+                if json {
+                    Ok(format!("{payload}\n"))
+                } else {
+                    let mut out = prometheus.clone();
+                    if !out.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    Ok(out)
+                }
+            }
+            WireResponse::Flight { records } => {
+                if json {
+                    Ok(FlightRecorder::to_jsonl(records))
+                } else {
+                    let mut out = format!("flight: {} records\n", records.len());
+                    for r in records {
+                        out.push_str(&format!(
+                            "  id={} class={} outcome={} riders={} slow={} total={:.0}us \
+                             (queue={:.0} probe={:.0} collect={:.0} refit={:.0} \
+                             write_back={:.0})\n",
+                            r.id,
+                            r.class,
+                            r.outcome,
+                            r.riders,
+                            r.slow,
+                            r.phases.total_us,
+                            r.phases.queue_wait_us,
+                            r.phases.probe_us,
+                            r.phases.collect_us,
+                            r.phases.refit_us,
+                            r.phases.write_back_us,
+                        ));
+                    }
+                    Ok(out)
+                }
+            }
+            WireResponse::Drift { sample } => Ok(format!(
+                "drift: matched={}{}{}\n",
+                sample.matched,
+                sample
+                    .predicted_us
+                    .map(|p| format!(" predicted={p:.2}us"))
+                    .unwrap_or_default(),
+                sample
+                    .ratio
+                    .map(|r| format!(" ratio={r:.3}"))
+                    .unwrap_or_default(),
+            )),
             WireResponse::Bye => Ok("server shutting down\n".to_string()),
             WireResponse::Error { message } => Err(format!("server error: {message}")),
         }
@@ -359,10 +525,16 @@ mod unix {
         sessions: usize,
     ) -> Result<String, String> {
         let clients = args.num_or("clients", 8usize)?.max(1);
+        let queries_per_session = args.num_or("queries", 1usize)?;
         let pool = loadgen::request_pool(pool_size, seed);
         diag.progress(&format!(
             "driving {sessions} sessions over {clients} connections (pool {pool_size}, seed {seed})"
         ));
+        // Client-observed latency aggregates live in a recorder local
+        // to this run; the daemon's own metrics are scraped separately.
+        let recorder = Obs::enabled();
+        let tune_latency = recorder.histogram("load.tune_latency_us");
+        let query_latency = recorder.histogram("load.query_latency_us");
 
         struct SessionResult {
             session: usize,
@@ -373,13 +545,16 @@ mod unix {
             digest: u64,
         }
 
-        let results: Vec<Vec<SessionResult>> = std::thread::scope(|scope| {
+        let results: Vec<(Vec<SessionResult>, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|client| {
                     let pool = &pool;
-                    scope.spawn(move || -> Result<Vec<SessionResult>, String> {
+                    let tune_latency = tune_latency.clone();
+                    let query_latency = query_latency.clone();
+                    scope.spawn(move || -> Result<(Vec<SessionResult>, usize), String> {
                         let mut conn = Connection::open(socket, wait.max(5))?;
                         let mut out = Vec::new();
+                        let mut observed = 0usize;
                         let mut session = client;
                         while session < sessions {
                             let mut rng = StdRng::seed_from_u64(
@@ -392,8 +567,11 @@ mod unix {
                                 1 => Priority::Normal,
                                 _ => Priority::High,
                             };
+                            let base = request.clone();
+                            let started = std::time::Instant::now();
                             let response =
                                 conn.round_trip(&WireRequest::Tune { request })?;
+                            tune_latency.record(started.elapsed().as_secs_f64() * 1e6);
                             let result = match response {
                                 WireResponse::Tuned {
                                     cached, keys, ..
@@ -420,10 +598,57 @@ mod unix {
                                     digest: 0,
                                 },
                             };
+                            // Follow-up queries + drift feedback over
+                            // the wire, mirroring loadgen::run.
+                            let db = (queries_per_session > 0)
+                                .then(|| BenchmarkDatabase::new(base.dataset.clone()));
+                            for _ in 0..queries_per_session {
+                                let space = &base.config.space;
+                                let point = acclaim_dataset::Point::new(
+                                    space.nodes[rng.random_range(0..space.nodes.len())],
+                                    space.ppns[rng.random_range(0..space.ppns.len())],
+                                    space.msg_sizes
+                                        [rng.random_range(0..space.msg_sizes.len())],
+                                );
+                                let query = QueryRequest {
+                                    dataset: base.dataset.clone(),
+                                    config: base.config.clone(),
+                                    collective: base.collectives[0],
+                                    point,
+                                };
+                                let started = std::time::Instant::now();
+                                let reply = conn.round_trip(&WireRequest::Query {
+                                    request: query.clone(),
+                                })?;
+                                query_latency.record(started.elapsed().as_secs_f64() * 1e6);
+                                let WireResponse::Selected { response } = reply else {
+                                    continue;
+                                };
+                                let (Some(db), Some(algorithm)) = (
+                                    db.as_ref(),
+                                    base.collectives[0]
+                                        .algorithms()
+                                        .iter()
+                                        .copied()
+                                        .find(|a| a.name() == response.algorithm),
+                                ) else {
+                                    continue;
+                                };
+                                let observed_us = db.time(algorithm, point);
+                                if let WireResponse::Drift { sample } =
+                                    conn.round_trip(&WireRequest::Observe {
+                                        request: query,
+                                        algorithm: algorithm.name().to_string(),
+                                        observed_us,
+                                    })?
+                                {
+                                    observed += usize::from(sample.matched);
+                                }
+                            }
                             out.push(result);
                             session += clients;
                         }
-                        Ok(out)
+                        Ok((out, observed))
                     })
                 })
                 .collect();
@@ -433,7 +658,9 @@ mod unix {
                 .collect::<Result<Vec<_>, String>>()
         })?;
 
-        let mut all: Vec<SessionResult> = results.into_iter().flatten().collect();
+        let observed: usize = results.iter().map(|(_, n)| n).sum();
+        let mut all: Vec<SessionResult> =
+            results.into_iter().flat_map(|(o, _)| o).collect();
         all.sort_by_key(|r| r.session);
         let ok = all.iter().filter(|r| r.ok).count();
         let cached = all.iter().filter(|r| r.cached).count();
@@ -445,12 +672,29 @@ mod unix {
             f.write_u64(r.digest);
             f.write_u32(u32::from(r.ok));
         }
-        Ok(format!(
+        let quantiles = |h: &HistogramSnapshot| {
+            format!(
+                "p50={:.0} p95={:.0} p99={:.0}",
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            )
+        };
+        let mut report = format!(
             "load: sessions={} ok={ok} cached={cached} distinct_keys={} fingerprint={:016x}\n",
             all.len(),
             distinct.len(),
             f.finish(),
-        ))
+        );
+        let tune = tune_latency.snapshot();
+        let query = query_latency.snapshot();
+        report.push_str(&format!(
+            "load latency (us): tune {} | query {} (queries={} observed={observed})\n",
+            quantiles(&tune),
+            quantiles(&query),
+            query.count,
+        ));
+        Ok(report)
     }
 
     #[cfg(test)]
@@ -515,11 +759,47 @@ mod unix {
             load_args.extend(["--load", "6", "--clients", "3", "--pool", "4"]);
             let out = client(&args(&load_args), &diag).unwrap();
             assert!(out.contains("sessions=6 ok=6"), "{out}");
+            assert!(out.contains("load latency (us): tune p50="), "{out}");
+            assert!(out.contains("observed=6"), "{out}");
 
             let mut stats = base.to_vec();
             stats.extend(["--op", "stats"]);
             let out = client(&args(&stats), &diag).unwrap();
             assert!(out.contains("stats: entries="), "{out}");
+
+            // Live telemetry verbs: Prometheus text, metrics JSON,
+            // flight dump (human + JSONL), and the watch summary.
+            let mut metrics = base.to_vec();
+            metrics.extend(["metrics"]);
+            let out = client(&args(&metrics), &diag).unwrap();
+            assert!(out.contains("# TYPE serve_tune_requests counter"), "{out}");
+            assert!(out.contains("serve_phase_queue_wait_us_bucket"), "{out}");
+            assert!(out.contains("drift_observations"), "{out}");
+
+            let mut metrics_json = base.to_vec();
+            metrics_json.extend(["metrics", "--json"]);
+            let out = client(&args(&metrics_json), &diag).unwrap();
+            acclaim_obs::schema::validate_metrics_json(&out).unwrap();
+
+            let mut trace = base.to_vec();
+            trace.extend(["trace", "--last", "4"]);
+            let out = client(&args(&trace), &diag).unwrap();
+            assert!(out.starts_with("flight: 4 records"), "{out}");
+
+            let mut trace_json = base.to_vec();
+            trace_json.extend(["trace", "--json"]);
+            let out = client(&args(&trace_json), &diag).unwrap();
+            // 2 tunes + 6 load sessions, minus whatever coalesced
+            // behind a rider (interleaving-dependent).
+            let n = acclaim_obs::schema::validate_flight_records(&out).unwrap();
+            assert!((4..=8).contains(&n), "unexpected flight count {n}: {out}");
+
+            let mut watch_args = base.to_vec();
+            watch_args.extend(["watch", "--refresh", "2", "--interval-ms", "10"]);
+            let out = client(&args(&watch_args), &diag).unwrap();
+            assert!(out.contains("watch[0]"), "{out}");
+            assert!(out.contains("watch[1]"), "{out}");
+            assert!(out.contains("e2e_p50="), "{out}");
 
             let mut shutdown = base.to_vec();
             shutdown.extend(["--op", "shutdown"]);
@@ -529,6 +809,13 @@ mod unix {
             let report = server.join().unwrap().unwrap();
             assert!(report.contains("serve counters"), "{report}");
             assert!(report.contains("tune_requests"), "{report}");
+            assert!(report.contains("serve gauges (obs):"), "{report}");
+            assert!(report.contains("serve.cache_size="), "{report}");
+            assert!(
+                report.contains("serve histogram serve.phase.total_us: count="),
+                "{report}"
+            );
+            assert!(report.contains("p99="), "{report}");
             std::fs::remove_dir_all(&store).ok();
             std::fs::remove_file(&socket).ok();
         }

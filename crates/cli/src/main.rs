@@ -66,21 +66,29 @@ commands:
   serve       run the tuning-as-a-service daemon on a local socket
               --store DIR [--socket PATH] [--workers N] [--slots N]
               [--shards N] [--format json|binary]
+              [--flight N] [--slow-log FACTOR]
               (runs until a client sends shutdown; prints serve.*
-               counters on exit)
+               counters, gauges, and phase-latency quantiles on exit;
+               --slow-log warns on requests slower than FACTOR x the
+               running median)
   client      talk to a running daemon over line-delimited JSON
               --socket PATH [--wait-server SECS]
-              --op tune|query|stats|shutdown
-                [--pool N] [--pool-index I] [--seed N]
-                [--priority low|normal|high] [--nodes N --ppn N --msg B]
+              <op> or --op OP, where OP is
+                tune|query|stats|shutdown
+                  [--pool N] [--pool-index I] [--seed N]
+                  [--priority low|normal|high] [--nodes N --ppn N --msg B]
+                metrics  scrape live metrics [--json]
+                trace    dump recent flight records [--last N] [--json]
+                watch    refreshing live summary
+                  [--refresh N] [--interval-ms MS]
               --load N  drive N deterministic tune sessions
-                [--clients N] [--pool N] [--seed N]
+                [--clients N] [--pool N] [--seed N] [--queries N]
   traces      summarize the synthetic application traces [--max-msg B]
 ";
 
 fn dispatch(args: Args, diag: &Diag) -> Result<String, String> {
-    // Only `store` takes an action positional.
-    if args.command.as_deref() != Some("store") {
+    // Only `store` and `client` take an action positional.
+    if !matches!(args.command.as_deref(), Some("store") | Some("client")) {
         if let Some(action) = &args.action {
             return Err(format!("unexpected positional argument '{action}'"));
         }

@@ -1,0 +1,223 @@
+//! Metrics exposition: render a [`MetricsSnapshot`] for scraping.
+//!
+//! Two formats, both derived from the same frozen snapshot so a single
+//! scrape is internally consistent:
+//!
+//! * [`to_prometheus`] — Prometheus text exposition. Metric names are
+//!   sanitized (`serve.queue_depth` → `serve_queue_depth`), counters
+//!   and gauges become single samples, histograms become the standard
+//!   cumulative `_bucket{le="..."}` / `_sum` / `_count` triple using
+//!   the log₂ bucket upper bounds as `le` edges.
+//! * [`to_metrics_json`] — a single JSON object (`type: "metrics"`)
+//!   keeping the original dotted names, with p50/p95/p99 precomputed
+//!   per histogram via [`HistogramSnapshot::quantile`]. Validated by
+//!   [`crate::schema::validate_metrics_json`] and `obs-check
+//!   --metrics-json`.
+
+use std::fmt::Write as _;
+
+use serde_json::{json, Map, Number, Value};
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Schema version stamped into the JSON exposition.
+pub const METRICS_JSON_VERSION: u64 = 1;
+
+/// Map a dotted metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`,
+/// and a leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Prometheus sample-value formatting: shortest-roundtrip floats with
+/// the spec's spellings for the non-finite values.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn prom_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    let mut wrote_inf = false;
+    for b in &hist.buckets {
+        cumulative += b.count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            prom_f64(b.hi)
+        );
+        wrote_inf |= b.hi == f64::INFINITY;
+    }
+    if !wrote_inf {
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", prom_f64(hist.sum));
+    let _ = writeln!(out, "{name}_count {}", hist.count);
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prom_f64(*value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        prom_histogram(&mut out, &prometheus_name(name), hist);
+    }
+    out
+}
+
+fn histogram_to_value(hist: &HistogramSnapshot) -> Value {
+    let buckets: Vec<Value> = hist
+        .buckets
+        .iter()
+        .map(|b| {
+            json!({
+                "lo": b.lo,
+                "hi": if b.hi.is_finite() { json!(b.hi) } else { Value::Null },
+                "count": b.count,
+            })
+        })
+        .collect();
+    json!({
+        "count": hist.count,
+        "sum": hist.sum,
+        "min": hist.min,
+        "max": hist.max,
+        "mean": hist.mean(),
+        "p50": hist.quantile(0.50),
+        "p95": hist.quantile(0.95),
+        "p99": hist.quantile(0.99),
+        "buckets": buckets,
+    })
+}
+
+/// Render a snapshot as the single-object JSON exposition (original
+/// dotted names, quantiles precomputed).
+pub fn to_metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut counters = Map::new();
+    for (name, value) in &snapshot.counters {
+        counters.insert(name.clone(), Value::Number(Number::from_u64(*value)));
+    }
+    let mut gauges = Map::new();
+    for (name, value) in &snapshot.gauges {
+        gauges.insert(name.clone(), Value::Number(Number::from_f64(*value)));
+    }
+    let mut histograms = Map::new();
+    for (name, hist) in &snapshot.histograms {
+        histograms.insert(name.clone(), histogram_to_value(hist));
+    }
+    let doc = json!({
+        "type": "metrics",
+        "version": METRICS_JSON_VERSION,
+        "counters": Value::Object(counters),
+        "gauges": Value::Object(gauges),
+        "histograms": Value::Object(histograms),
+    });
+    serde_json::to_string(&doc).expect("serialize metrics exposition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Obs;
+
+    fn sample() -> MetricsSnapshot {
+        let obs = Obs::enabled();
+        obs.counter("serve.tune_requests").add(12);
+        obs.gauge("serve.queue_depth").set(3.0);
+        let h = obs.histogram("serve.phase.queue_wait_us");
+        for v in [1.5, 1.5, 9.0, 600.0] {
+            h.record(v);
+        }
+        obs.snapshot().metrics
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("serve.queue_depth"), "serve_queue_depth");
+        assert_eq!(prometheus_name("drift.ratio/sig-1"), "drift_ratio_sig_1");
+        assert_eq!(prometheus_name("7seas"), "_7seas");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_cumulative_buckets() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE serve_tune_requests counter"));
+        assert!(text.contains("serve_tune_requests 12"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 3"));
+        assert!(text.contains("# TYPE serve_phase_queue_wait_us histogram"));
+        // Buckets are cumulative and always end with an +Inf edge.
+        assert!(text.contains("serve_phase_queue_wait_us_bucket{le=\"2\"} 2"));
+        assert!(text.contains("serve_phase_queue_wait_us_bucket{le=\"16\"} 3"));
+        assert!(text.contains("serve_phase_queue_wait_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_phase_queue_wait_us_count 4"));
+        // Every non-comment line is `name{...} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf");
+        }
+    }
+
+    #[test]
+    fn json_exposition_precomputes_quantiles() {
+        let text = to_metrics_json(&sample());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("metrics"));
+        let hist = v
+            .get("histograms")
+            .unwrap()
+            .get("serve.phase.queue_wait_us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(hist.get("p50").unwrap().as_f64(), Some(2.0));
+        assert_eq!(hist.get("p99").unwrap().as_f64(), Some(600.0));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("serve.tune_requests")
+                .unwrap()
+                .as_u64(),
+            Some(12)
+        );
+        crate::schema::validate_metrics_json(&text).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_exposes_cleanly() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(to_prometheus(&snap), "");
+        crate::schema::validate_metrics_json(&to_metrics_json(&snap)).unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! Flight recorder: a fixed-capacity ring of recent request records.
+//!
+//! A serving daemon wants "what did the last N requests do?" answered
+//! without unbounded memory and without a contended global lock. The
+//! [`FlightRecorder`] keeps one slot per recent record behind a
+//! per-slot mutex; writers claim a slot with a single atomic
+//! `fetch_add` and lock only that slot, so concurrent recorders touch
+//! disjoint locks except when the ring wraps onto an in-flight slot.
+//! [`FlightRecorder::recent`] is a best-effort read: records landed
+//! before the call are visible, records racing with it may or may not
+//! be.
+//!
+//! Records serialize as JSON Lines (one [`FlightRecord`] per line) for
+//! the protocol dump and are validated by
+//! [`crate::schema::validate_flight_records`] / `obs-check --flight`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock phase decomposition of one served tune request (µs).
+///
+/// `total_us` spans submit→finish, so it includes the queue wait; the
+/// remaining fields partition the in-worker time (probe → collect →
+/// refit → write-back). Phases a request never reached stay 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Submit → worker pop.
+    pub queue_wait_us: f64,
+    /// Warm-start store probe.
+    pub probe_us: f64,
+    /// Benchmark collection (training minus model refits).
+    pub collect_us: f64,
+    /// Model updates (sum of per-iteration refit walls).
+    pub refit_us: f64,
+    /// Store write-back of trained entries.
+    pub write_back_us: f64,
+    /// Submit → terminal status.
+    pub total_us: f64,
+}
+
+/// One completed request as seen by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Stable request id assigned at admission.
+    pub id: u64,
+    /// Work fingerprint (the coalescing key) of the request.
+    pub fingerprint: u64,
+    /// Priority class the request was queued under.
+    pub class: String,
+    /// Terminal outcome: `trained`, `cached`, `cancelled`, or `failed`.
+    pub outcome: String,
+    /// Coalesced riders resolved by this execution.
+    pub riders: u64,
+    /// Whether the slow-request threshold flagged it.
+    pub slow: bool,
+    /// Per-phase wall times.
+    pub phases: PhaseTimings,
+}
+
+/// Fixed-capacity lock-light ring buffer of [`FlightRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightRecord>>>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder remembering the last `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (not capped by capacity).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Push a record, evicting the oldest once the ring is full.
+    pub fn record(&self, record: FlightRecord) {
+        let cap = self.slots.len() as u64;
+        let slot = (self.head.fetch_add(1, Ordering::AcqRel) % cap) as usize;
+        *self.slots[slot].lock().expect("flight slot lock") = Some(record);
+    }
+
+    /// Up to `n` most recent records, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<FlightRecord> {
+        let cap = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Acquire);
+        let avail = head.min(cap).min(n as u64);
+        let mut out = Vec::with_capacity(avail as usize);
+        for off in (1..=avail).rev() {
+            let slot = ((head - off) % cap) as usize;
+            if let Some(r) = self.slots[slot].lock().expect("flight slot lock").clone() {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Serialize records as JSON Lines (the dump format `obs-check
+    /// --flight` validates).
+    pub fn to_jsonl(records: &[FlightRecord]) -> String {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&serde_json::to_string(r).expect("serialize flight record"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> FlightRecord {
+        FlightRecord {
+            id,
+            fingerprint: 0xACC1 ^ id,
+            class: "normal".to_string(),
+            outcome: "trained".to_string(),
+            riders: 0,
+            slow: false,
+            phases: PhaseTimings {
+                queue_wait_us: 1.0,
+                probe_us: 2.0,
+                collect_us: 30.0,
+                refit_us: 4.0,
+                write_back_us: 5.0,
+                total_us: 42.0,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_records_in_order() {
+        let fr = FlightRecorder::new(4);
+        assert_eq!(fr.capacity(), 4);
+        assert!(fr.recent(10).is_empty());
+        for id in 0..10 {
+            fr.record(rec(id));
+        }
+        assert_eq!(fr.recorded(), 10);
+        let ids: Vec<u64> = fr.recent(10).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        let ids: Vec<u64> = fr.recent(2).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record(rec(1));
+        fr.record(rec(2));
+        assert_eq!(fr.recent(5).iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let records = vec![rec(1), rec(2)];
+        let text = FlightRecorder::to_jsonl(&records);
+        assert_eq!(text.lines().count(), 2);
+        let back: Vec<FlightRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back, records);
+        crate::schema::validate_flight_records(&text).unwrap();
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_the_ring_shape() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let fr = fr.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        fr.record(rec(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(fr.recorded(), 800);
+        let recent = fr.recent(16);
+        assert_eq!(recent.len(), 16);
+        // Every surviving record is one that was actually pushed.
+        for r in &recent {
+            assert!(r.id % 1000 < 100);
+        }
+    }
+}

@@ -23,9 +23,16 @@
 //!   schema-validated object per line), Chrome `trace_event` JSON
 //!   (load it in `chrome://tracing` to *see* the parallel-collection
 //!   concurrency), and a human terminal summary table.
+//! * **Exposition** ([`expose`]) — render a [`metrics::MetricsSnapshot`]
+//!   as Prometheus-style text or a JSON object, so a live daemon can be
+//!   scraped instead of waiting for its exit report.
+//! * **Flight recorder** ([`flight`]) — a fixed-capacity lock-light
+//!   ring of recent per-request records (phase timings, outcome, slow
+//!   flag) for dump-on-demand diagnostics.
 //! * **Schema** ([`schema`]) — the JSONL event contract plus a
 //!   validator, also compiled into the `obs-check` binary CI runs over
-//!   emitted traces.
+//!   emitted traces; the metrics JSON exposition and flight dumps have
+//!   validators (and `obs-check` modes) of their own.
 //! * **Diagnostics** ([`diag`]) — the CLI's leveled stderr helper
 //!   (error / warning / progress) honoring `--quiet`.
 //!
@@ -37,6 +44,8 @@
 pub mod clock;
 pub mod diag;
 pub mod export;
+pub mod expose;
+pub mod flight;
 pub mod metrics;
 pub mod recorder;
 pub mod schema;
@@ -44,6 +53,8 @@ pub mod span;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use diag::Diag;
-pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use expose::{to_metrics_json, to_prometheus};
+pub use flight::{FlightRecord, FlightRecorder, PhaseTimings};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use recorder::{Obs, TraceSnapshot};
 pub use span::{AttrValue, SpanGuard, SpanRecord, Timeline};

@@ -105,6 +105,37 @@ impl Obs {
         end_us: f64,
         attrs: Vec<(String, AttrValue)>,
     ) {
+        self.explicit_span(Timeline::Sim, cat, name, track, start_us, end_us, attrs);
+    }
+
+    /// Record a closed host-timeline span with explicit stamps and an
+    /// explicit display lane (e.g. `"req 17"`). For intervals measured
+    /// retroactively by the caller — queue waits, request phases —
+    /// where no guard can stay alive across threads. Stamps must come
+    /// from this recorder's clock ([`Obs::now_us`]).
+    pub fn host_span_at(
+        &self,
+        cat: &'static str,
+        name: &str,
+        track: &str,
+        start_us: f64,
+        end_us: f64,
+        attrs: Vec<(String, AttrValue)>,
+    ) {
+        self.explicit_span(Timeline::Host, cat, name, track, start_us, end_us, attrs);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explicit_span(
+        &self,
+        timeline: Timeline,
+        cat: &'static str,
+        name: &str,
+        track: &str,
+        start_us: f64,
+        end_us: f64,
+        attrs: Vec<(String, AttrValue)>,
+    ) {
         let Some(inner) = &self.inner else { return };
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         inner.spans.lock().expect("span log lock").push(SpanRecord {
@@ -113,7 +144,7 @@ impl Obs {
             name: name.to_string(),
             cat: cat.to_string(),
             track: track.to_string(),
-            timeline: Timeline::Sim,
+            timeline,
             start_us,
             end_us: end_us.max(start_us),
             attrs,
@@ -185,6 +216,15 @@ impl Obs {
         if self.inner.is_some() {
             self.histogram(name).record(v);
         }
+    }
+
+    /// Freeze only the metrics — no span clone, so it stays cheap
+    /// enough to serve a live scrape endpoint from while the span log
+    /// keeps growing.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(MetricsSnapshot::default, |i| i.metrics.snapshot())
     }
 
     /// Freeze everything recorded so far. Spans sort by
@@ -334,6 +374,30 @@ mod tests {
         let tracks: std::collections::BTreeSet<_> =
             snap.spans.iter().map(|s| s.track.clone()).collect();
         assert_eq!(tracks.len(), 4);
+    }
+
+    #[test]
+    fn host_span_at_lands_on_the_host_timeline() {
+        let obs = Obs::with_clock(Box::new(ManualClock::new()));
+        obs.host_span_at(
+            "serve",
+            "queue_wait",
+            "req 17",
+            10.0,
+            25.0,
+            vec![("request".to_string(), AttrValue::U64(17))],
+        );
+        // Inverted stamps clamp to an empty interval instead of
+        // corrupting the trace.
+        obs.host_span_at("serve", "phase", "req 17", 30.0, 20.0, Vec::new());
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let s = &snap.spans[0];
+        assert_eq!(s.timeline, Timeline::Host);
+        assert_eq!(s.track, "req 17");
+        assert_eq!(s.parent, None);
+        assert_eq!((s.start_us, s.end_us), (10.0, 25.0));
+        assert_eq!((snap.spans[1].start_us, snap.spans[1].end_us), (30.0, 30.0));
     }
 
     #[test]

@@ -66,6 +66,6 @@ mod service;
 pub use index::SharedStore;
 pub use queue::{JobId, JobStatus, Priority};
 pub use service::{
-    JobHandle, QueryRequest, QueryResponse, QuerySource, ServeConfig, ServiceHooks, ServiceStats,
-    TuneRequest, TuneResult, TuneService,
+    DriftSample, JobHandle, QueryRequest, QueryResponse, QuerySource, ServeConfig, ServiceHooks,
+    ServiceStats, TuneRequest, TuneResult, TuneService,
 };

@@ -22,10 +22,12 @@
 use crate::queue::{JobStatus, Priority};
 use crate::service::{QueryRequest, QuerySource, TuneRequest, TuneService};
 use acclaim_core::{AcclaimConfig, TuningFile};
-use acclaim_dataset::{DatasetConfig, FeatureSpace, Point};
+use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, FeatureSpace, Point};
 use acclaim_netsim::Fingerprint;
+use acclaim_obs::{HistogramSnapshot, Obs};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Load-generator shape. Everything is deterministic given `seed`.
 #[derive(Debug, Clone)]
@@ -40,6 +42,11 @@ pub struct LoadGenConfig {
     pub seed: u64,
     /// Rule queries each session issues after its tune completes.
     pub queries_per_session: usize,
+    /// After each tuned query, feed the simulator's measurement back
+    /// through [`TuneService::observe`] so the daemon's `drift.*`
+    /// family sees traffic. Metrics-only; tuning outcomes and the
+    /// report fingerprint are unaffected.
+    pub observe: bool,
 }
 
 impl Default for LoadGenConfig {
@@ -50,6 +57,7 @@ impl Default for LoadGenConfig {
             pool: 16,
             seed: 0,
             queries_per_session: 2,
+            observe: true,
         }
     }
 }
@@ -84,6 +92,14 @@ pub struct LoadReport {
     /// Queries answered by the default heuristic instead of a tuned
     /// table (0 when every query targets a tuned signature).
     pub default_selections: usize,
+    /// Drift observations that matched a served model (0 when
+    /// [`LoadGenConfig::observe`] is off).
+    pub observations: usize,
+    /// Submit→terminal latency of every tune session (µs), aggregated
+    /// in an obs histogram for bucketed quantiles.
+    pub tune_latency: HistogramSnapshot,
+    /// Rule-query latency (µs) as seen by the virtual clients.
+    pub query_latency: HistogramSnapshot,
 }
 
 impl LoadReport {
@@ -168,14 +184,22 @@ fn session_rng(seed: u64, session: usize) -> StdRng {
 pub fn run(service: &TuneService, config: &LoadGenConfig) -> LoadReport {
     let pool = request_pool(config.pool.max(1), config.seed);
     let clients = config.clients.max(1);
+    // Client-side latency aggregation lives in a recorder local to
+    // this run, so it never mixes with the service's own metrics.
+    let recorder = Obs::enabled();
+    let tune_latency = recorder.histogram("loadgen.tune_latency_us");
+    let query_latency = recorder.histogram("loadgen.query_latency_us");
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
                 let pool = &pool;
+                let tune_latency = tune_latency.clone();
+                let query_latency = query_latency.clone();
                 scope.spawn(move || {
                     let mut outcomes = Vec::new();
                     let mut queries = 0;
                     let mut defaults = 0;
+                    let mut observations = 0;
                     let mut session = client;
                     while session < config.sessions {
                         let mut rng = session_rng(config.seed, session);
@@ -186,6 +210,7 @@ pub fn run(service: &TuneService, config: &LoadGenConfig) -> LoadReport {
                             1 => Priority::Normal,
                             _ => Priority::High,
                         };
+                        let tune_started = Instant::now();
                         let handle = service.submit(request.clone());
                         let outcome = match handle.wait() {
                             JobStatus::Done(r) => SessionOutcome {
@@ -207,8 +232,11 @@ pub fn run(service: &TuneService, config: &LoadGenConfig) -> LoadReport {
                                 keys: Vec::new(),
                             },
                         };
+                        tune_latency.record(tune_started.elapsed().as_secs_f64() * 1e6);
                         // Follow-up queries against the now-tuned
                         // signature, at seeded points.
+                        let db = (config.observe && config.queries_per_session > 0)
+                            .then(|| BenchmarkDatabase::new(request.dataset.clone()));
                         for _ in 0..config.queries_per_session {
                             let space = &request.config.space;
                             let point = Point::new(
@@ -216,21 +244,43 @@ pub fn run(service: &TuneService, config: &LoadGenConfig) -> LoadReport {
                                 space.ppns[rng.random_range(0..space.ppns.len())],
                                 space.msg_sizes[rng.random_range(0..space.msg_sizes.len())],
                             );
-                            let response = service.query(&QueryRequest {
+                            let query = QueryRequest {
                                 dataset: request.dataset.clone(),
                                 config: request.config.clone(),
                                 collective: request.collectives[0],
                                 point,
-                            });
+                            };
+                            let query_started = Instant::now();
+                            let response = service.query(&query);
+                            query_latency.record(query_started.elapsed().as_secs_f64() * 1e6);
                             queries += 1;
                             if response.source == QuerySource::Default {
                                 defaults += 1;
+                            }
+                            // Close the loop for drift measurement:
+                            // "run" the selection in the simulator and
+                            // report what it actually cost.
+                            if let Some(db) = &db {
+                                if let Some(algorithm) = query
+                                    .collective
+                                    .algorithms()
+                                    .iter()
+                                    .copied()
+                                    .find(|a| a.name() == response.algorithm)
+                                {
+                                    let observed = db.time(algorithm, point);
+                                    let sample =
+                                        service.observe(&query, algorithm.name(), observed);
+                                    if sample.matched {
+                                        observations += 1;
+                                    }
+                                }
                             }
                         }
                         outcomes.push(outcome);
                         session += clients;
                     }
-                    (outcomes, queries, defaults)
+                    (outcomes, queries, defaults, observations)
                 })
             })
             .collect();
@@ -241,12 +291,15 @@ pub fn run(service: &TuneService, config: &LoadGenConfig) -> LoadReport {
     });
 
     let mut outcomes: Vec<SessionOutcome> =
-        results.iter().flat_map(|(o, _, _)| o.clone()).collect();
+        results.iter().flat_map(|(o, _, _, _)| o.clone()).collect();
     outcomes.sort_by_key(|o| o.session);
     LoadReport {
         outcomes,
-        queries: results.iter().map(|(_, q, _)| q).sum(),
-        default_selections: results.iter().map(|(_, _, d)| d).sum(),
+        queries: results.iter().map(|(_, q, _, _)| q).sum(),
+        default_selections: results.iter().map(|(_, _, d, _)| d).sum(),
+        observations: results.iter().map(|(_, _, _, n)| n).sum(),
+        tune_latency: tune_latency.snapshot(),
+        query_latency: query_latency.snapshot(),
     }
 }
 
@@ -311,6 +364,7 @@ mod tests {
             pool: 4,
             seed: 9,
             queries_per_session: 1,
+            observe: true,
         };
         let report = run(&service, &config);
         assert_eq!(report.outcomes.len(), 12);
@@ -321,6 +375,20 @@ mod tests {
             report.default_selections, 0,
             "every query targets a signature its own session tuned"
         );
+        assert_eq!(
+            report.observations, 12,
+            "every tuned query feeds one matched drift observation"
+        );
+        assert_eq!(report.tune_latency.count, 12);
+        assert_eq!(report.query_latency.count, 12);
+        assert!(report.tune_latency.quantile(0.5) > 0.0);
+        let drift = service
+            .metrics()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "drift.observations")
+            .map(|(_, v)| *v);
+        assert_eq!(drift, Some(12));
         // Store entries == distinct signatures touched.
         assert_eq!(
             service.shared().len(),

@@ -19,7 +19,10 @@
 //! `Tuned` responses on *other* connections.
 
 use crate::queue::JobStatus;
-use crate::service::{QueryRequest, QueryResponse, ServiceStats, TuneRequest, TuneService};
+use crate::service::{
+    DriftSample, QueryRequest, QueryResponse, ServiceStats, TuneRequest, TuneService,
+};
+use acclaim_obs::FlightRecord;
 use serde::{Deserialize, Serialize};
 
 /// A decoded client request.
@@ -47,6 +50,24 @@ pub enum WireRequest {
     },
     /// Report service activity counters.
     Stats,
+    /// Scrape the live metrics as Prometheus-style text plus a JSON
+    /// exposition object.
+    Metrics,
+    /// Dump the most recent flight-recorder records.
+    Trace {
+        /// Maximum records to return (newest win; oldest-first order).
+        last: u64,
+    },
+    /// Feed back an observed cost for a previously served selection
+    /// (drift measurement; never changes serving behavior).
+    Observe {
+        /// The query the selection answered.
+        request: QueryRequest,
+        /// The algorithm that actually ran.
+        algorithm: String,
+        /// Its observed cost (µs).
+        observed_us: f64,
+    },
     /// Stop the daemon.
     Shutdown,
 }
@@ -93,6 +114,24 @@ pub enum WireResponse {
     Stats {
         /// The snapshot.
         stats: ServiceStats,
+    },
+    /// A metrics scrape.
+    Metrics {
+        /// Prometheus-style text exposition.
+        prometheus: String,
+        /// JSON exposition (the `obs-check --metrics-json` contract).
+        json: String,
+    },
+    /// A flight-recorder dump, oldest first.
+    Flight {
+        /// The records (each also serializes as one JSONL line via
+        /// [`acclaim_obs::FlightRecorder::to_jsonl`]).
+        records: Vec<FlightRecord>,
+    },
+    /// The verdict of a drift observation.
+    Drift {
+        /// Matched/predicted/ratio payload.
+        sample: DriftSample,
     },
     /// Acknowledges shutdown; the connection closes after this.
     Bye,
@@ -185,6 +224,32 @@ pub fn handle_request(service: &TuneService, request: WireRequest) -> (WireRespo
             },
             false,
         ),
+        WireRequest::Metrics => {
+            let snapshot = service.metrics();
+            (
+                WireResponse::Metrics {
+                    prometheus: acclaim_obs::to_prometheus(&snapshot),
+                    json: acclaim_obs::to_metrics_json(&snapshot),
+                },
+                false,
+            )
+        }
+        WireRequest::Trace { last } => (
+            WireResponse::Flight {
+                records: service.flight_recent(last as usize),
+            },
+            false,
+        ),
+        WireRequest::Observe {
+            request,
+            algorithm,
+            observed_us,
+        } => (
+            WireResponse::Drift {
+                sample: service.observe(&request, &algorithm, observed_us),
+            },
+            false,
+        ),
         WireRequest::Shutdown => (WireResponse::Bye, true),
     }
 }
@@ -223,6 +288,18 @@ mod tests {
             WireRequest::Cancel { job: 3 },
             WireRequest::Status { job: 9 },
             WireRequest::Stats,
+            WireRequest::Metrics,
+            WireRequest::Trace { last: 32 },
+            WireRequest::Observe {
+                request: QueryRequest {
+                    dataset: DatasetConfig::tiny(),
+                    config: AcclaimConfig::new(FeatureSpace::tiny()),
+                    collective: Collective::Bcast,
+                    point: Point::new(8, 4, 1024),
+                },
+                algorithm: "binomial".into(),
+                observed_us: 42.5,
+            },
             WireRequest::Shutdown,
         ];
         for request in requests {
@@ -258,6 +335,35 @@ mod tests {
             WireResponse::StatusIs {
                 job: 3,
                 state: "running".into(),
+            },
+            WireResponse::Metrics {
+                prometheus: "# TYPE serve_tune_requests counter\nserve_tune_requests 1\n".into(),
+                json: "{\"type\":\"metrics\",\"version\":1}".into(),
+            },
+            WireResponse::Flight {
+                records: vec![FlightRecord {
+                    id: 7,
+                    fingerprint: 0xACC1,
+                    class: "normal".into(),
+                    outcome: "trained".into(),
+                    riders: 2,
+                    slow: true,
+                    phases: acclaim_obs::PhaseTimings {
+                        queue_wait_us: 10.0,
+                        probe_us: 5.0,
+                        collect_us: 100.0,
+                        refit_us: 20.0,
+                        write_back_us: 3.0,
+                        total_us: 140.0,
+                    },
+                }],
+            },
+            WireResponse::Drift {
+                sample: DriftSample {
+                    matched: true,
+                    predicted_us: Some(11.0),
+                    ratio: Some(1.2),
+                },
             },
             WireResponse::Bye,
             WireResponse::Error {

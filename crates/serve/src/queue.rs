@@ -35,6 +35,17 @@ pub enum Priority {
     High,
 }
 
+impl Priority {
+    /// A short lowercase label for flight records and log output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone)]
 pub enum JobStatus {
@@ -155,6 +166,9 @@ pub(crate) struct QueuedJob {
     pub fingerprint: u64,
     pub request: TuneRequest,
     pub state: Arc<JobState>,
+    /// When the job entered the queue (stamped by [`JobQueue::push`]);
+    /// the worker's queue-wait phase is measured against this.
+    pub submitted: std::time::Instant,
 }
 
 #[derive(Debug, Default)]
@@ -205,6 +219,7 @@ impl JobQueue {
             fingerprint,
             request,
             state,
+            submitted: std::time::Instant::now(),
         });
         self.cv.notify_one();
         true

@@ -20,13 +20,13 @@
 //! `serve.query_latency_us` histogram.
 
 use crate::index::SharedStore;
-use crate::queue::{JobId, JobQueue, JobState, JobStatus, Priority};
+use crate::queue::{JobId, JobQueue, JobState, JobStatus, Priority, QueuedJob};
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_core::{Acclaim, AcclaimConfig, TuningFile, WarmStart};
 use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, Point};
 use acclaim_ml::FlatForest;
 use acclaim_netsim::Fingerprint;
-use acclaim_obs::Obs;
+use acclaim_obs::{Diag, FlightRecord, FlightRecorder, MetricsSnapshot, Obs, PhaseTimings};
 use acclaim_store::{
     entry_from_outcome, warm_start_from_probe, ClusterSignature, Compatibility, EntryFormat,
     StoreEntry,
@@ -37,6 +37,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// A request to ensure a job configuration is tuned.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,6 +121,19 @@ pub struct QueryResponse {
     pub source: QuerySource,
 }
 
+/// The verdict of one drift observation ([`TuneService::observe`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSample {
+    /// Whether a tuned model covered the signature and the named
+    /// algorithm (unmatched observations only bump `drift.unmatched`).
+    pub matched: bool,
+    /// The model's predicted cost (µs) for the selection, when matched.
+    pub predicted_us: Option<f64>,
+    /// `observed / predicted` when matched; > 1 means the model was
+    /// optimistic, < 1 pessimistic.
+    pub ratio: Option<f64>,
+}
+
 /// Test/diagnostic hooks invoked at deterministic points of the worker
 /// loop. Production configs leave them empty.
 #[derive(Clone, Default)]
@@ -152,6 +166,15 @@ pub struct ServeConfig {
     pub starvation_window: u64,
     /// On-disk format for entries this service writes.
     pub format: EntryFormat,
+    /// Flight-recorder ring capacity (recent request records kept for
+    /// dump-on-demand).
+    pub flight_capacity: usize,
+    /// When set, a finished request whose end-to-end wall time exceeds
+    /// `factor ×` the running median (after a small warm-up) is counted
+    /// in `serve.slow_requests` and logged through [`Diag::warn`].
+    pub slow_log_factor: Option<f64>,
+    /// Stderr diagnostics sink for slow-request lines.
+    pub diag: Diag,
     /// Deterministic test hooks.
     pub hooks: ServiceHooks,
 }
@@ -164,6 +187,9 @@ impl Default for ServeConfig {
             shards: 16,
             starvation_window: 8,
             format: EntryFormat::Binary,
+            flight_capacity: 256,
+            slow_log_factor: None,
+            diag: Diag::default(),
             hooks: ServiceHooks::default(),
         }
     }
@@ -276,9 +302,23 @@ struct ServeCounters {
     failed: acclaim_obs::Counter,
     queries: acclaim_obs::Counter,
     query_defaults: acclaim_obs::Counter,
+    slow_requests: acclaim_obs::Counter,
     queue_depth: acclaim_obs::Gauge,
     slots_in_use: acclaim_obs::Gauge,
+    active_jobs: acclaim_obs::Gauge,
+    cache_size: acclaim_obs::Gauge,
     query_latency_us: acclaim_obs::Histogram,
+    phase_queue_wait_us: acclaim_obs::Histogram,
+    phase_probe_us: acclaim_obs::Histogram,
+    phase_collect_us: acclaim_obs::Histogram,
+    phase_refit_us: acclaim_obs::Histogram,
+    phase_write_back_us: acclaim_obs::Histogram,
+    phase_total_us: acclaim_obs::Histogram,
+    drift_observations: acclaim_obs::Counter,
+    drift_unmatched: acclaim_obs::Counter,
+    drift_cost_ratio: acclaim_obs::Histogram,
+    drift_last_ratio: acclaim_obs::Gauge,
+    drift_signatures: acclaim_obs::Gauge,
 }
 
 impl ServeCounters {
@@ -293,9 +333,23 @@ impl ServeCounters {
             failed: obs.counter("serve.failed"),
             queries: obs.counter("serve.queries"),
             query_defaults: obs.counter("serve.query_defaults"),
+            slow_requests: obs.counter("serve.slow_requests"),
             queue_depth: obs.gauge("serve.queue_depth"),
             slots_in_use: obs.gauge("serve.slots_in_use"),
+            active_jobs: obs.gauge("serve.active_jobs"),
+            cache_size: obs.gauge("serve.cache_size"),
             query_latency_us: obs.histogram("serve.query_latency_us"),
+            phase_queue_wait_us: obs.histogram("serve.phase.queue_wait_us"),
+            phase_probe_us: obs.histogram("serve.phase.probe_us"),
+            phase_collect_us: obs.histogram("serve.phase.collect_us"),
+            phase_refit_us: obs.histogram("serve.phase.refit_us"),
+            phase_write_back_us: obs.histogram("serve.phase.write_back_us"),
+            phase_total_us: obs.histogram("serve.phase.total_us"),
+            drift_observations: obs.counter("drift.observations"),
+            drift_unmatched: obs.counter("drift.unmatched"),
+            drift_cost_ratio: obs.histogram("drift.cost_ratio"),
+            drift_last_ratio: obs.gauge("drift.last_ratio"),
+            drift_signatures: obs.gauge("drift.signatures"),
         }
     }
 }
@@ -344,6 +398,12 @@ pub(crate) struct ServiceInner {
     next_id: AtomicU64,
     jobs: Mutex<HashMap<JobId, Arc<JobState>>>,
     counters: ServeCounters,
+    flight: FlightRecorder,
+    slow_log_factor: Option<f64>,
+    diag: Diag,
+    /// Per-signature running mean of observed/predicted cost ratios
+    /// (key → (count, mean)), backing the `drift.ratio.*` gauges.
+    drift_means: Mutex<HashMap<String, (u64, f64)>>,
 }
 
 /// Handle to one submitted job.
@@ -412,6 +472,7 @@ impl TuneService {
         })?;
         obs.incr_counter("serve.prewarmed_models", cache.len() as u64);
         let counters = ServeCounters::new(&obs);
+        counters.cache_size.set(cache.len() as f64);
         let inner = Arc::new(ServiceInner {
             shared,
             queue: JobQueue::new(config.starvation_window),
@@ -423,6 +484,10 @@ impl TuneService {
             next_id: AtomicU64::new(1),
             jobs: Mutex::new(HashMap::new()),
             counters,
+            flight: FlightRecorder::new(config.flight_capacity),
+            slow_log_factor: config.slow_log_factor,
+            diag: config.diag,
+            drift_means: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -446,20 +511,21 @@ impl TuneService {
         self.inner.jobs.lock().unwrap().insert(id, state.clone());
         self.inner.counters.tune_requests.incr();
         let fingerprint = request.work_fingerprint();
-        if !self
+        if self
             .inner
             .queue
             .push(request.priority, fingerprint, request, state.clone())
         {
+            // Admissions and removals pair `add`/`sub` calls so the
+            // gauge is exact under concurrent submitters (a `set` from
+            // a racing re-read of `queue.len()` could go backwards).
+            self.inner.counters.queue_depth.add(1.0);
+        } else {
             let failed = &self.inner.counters.failed;
             state.set_with(JobStatus::Failed("service is shutting down".into()), || {
                 failed.incr();
             });
         }
-        self.inner
-            .counters
-            .queue_depth
-            .set(self.inner.queue.len() as f64);
         JobHandle {
             inner: self.inner.clone(),
             state,
@@ -540,6 +606,31 @@ impl TuneService {
         }
     }
 
+    /// Freeze the live metrics (counters, gauges, histograms) without
+    /// touching the span log — cheap enough to serve a scrape endpoint
+    /// from. Empty when the service's recorder is disabled.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.obs.metrics_snapshot()
+    }
+
+    /// The most recent `n` flight-recorder records, oldest first. The
+    /// flight recorder is always on (it is passive and fixed-size), so
+    /// this works even with telemetry disabled.
+    pub fn flight_recent(&self, n: usize) -> Vec<FlightRecord> {
+        self.inner.flight.recent(n)
+    }
+
+    /// Feed back an *observed* cost (µs) for a selection this service
+    /// previously answered, updating the `drift.*` metric family
+    /// (predicted-vs-observed residuals per served signature).
+    ///
+    /// Measurement only: drift observations never feed back into
+    /// serving, training, or the store, preserving the telemetry
+    /// inertness contract.
+    pub fn observe(&self, request: &QueryRequest, algorithm: &str, observed_us: f64) -> DriftSample {
+        self.inner.observe_drift(request, algorithm, observed_us)
+    }
+
     /// The shared store (for tests and maintenance tooling).
     pub fn shared(&self) -> &SharedStore {
         &self.inner.shared
@@ -559,6 +650,7 @@ impl TuneService {
         for job in self.inner.queue.drain() {
             job.state.request_cancel();
             self.inner.finish(&job.state, JobStatus::Cancelled);
+            self.inner.counters.queue_depth.sub(1.0);
         }
     }
 }
@@ -576,7 +668,7 @@ impl ServiceInner {
         if let Some(job) = self.queue.remove(id) {
             job.state.request_cancel();
             self.finish(&job.state, JobStatus::Cancelled);
-            self.counters.queue_depth.set(self.queue.len() as f64);
+            self.counters.queue_depth.sub(1.0);
             return true;
         }
         let state = self.jobs.lock().unwrap().get(&id).cloned();
@@ -616,6 +708,7 @@ impl ServiceInner {
         }
         let model = Arc::new(ServedModel::from_entry(&entry));
         self.cache.insert(model.clone());
+        self.counters.cache_size.set(self.cache.len() as f64);
         Some(model)
     }
 
@@ -648,13 +741,22 @@ impl ServiceInner {
     /// Train a request end to end. `Ok(None)` means the job was
     /// cancelled mid-run (nothing persisted for incomplete
     /// collectives; completed ones were already written back).
+    ///
+    /// Fills `phases` with the probe / collect / refit / write-back
+    /// wall times and (when tracing is on) emits one host span per
+    /// phase on the request's `track`.
     fn run_tune(
         &self,
         request: &TuneRequest,
         state: &Arc<JobState>,
+        phases: &mut PhaseTimings,
+        track: &str,
     ) -> io::Result<Option<TuneResult>> {
         let obs = &self.obs;
         let db = BenchmarkDatabase::new(request.dataset.clone());
+
+        let probe_from = obs.now_us();
+        let probe_started = Instant::now();
         let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
         let mut signatures = Vec::with_capacity(request.collectives.len());
         for &c in &request.collectives {
@@ -670,7 +772,24 @@ impl ServiceInner {
             }
             signatures.push(sig);
         }
+        phases.probe_us = probe_started.elapsed().as_secs_f64() * 1e6;
+        self.counters.phase_probe_us.record(phases.probe_us);
+        if obs.is_enabled() {
+            obs.host_span_at(
+                "serve",
+                "probe",
+                track,
+                probe_from,
+                obs.now_us(),
+                vec![
+                    ("collectives".into(), (request.collectives.len() as u64).into()),
+                    ("warm_hits".into(), (warms.len() as u64).into()),
+                ],
+            );
+        }
 
+        let collect_from = obs.now_us();
+        let train_started = Instant::now();
         let hooks = self.hooks.clone();
         let id = state.id();
         let cancel_state = state.clone();
@@ -686,9 +805,32 @@ impl ServiceInner {
                 !cancel_state.is_cancelled()
             },
         );
+        let train_us = train_started.elapsed().as_secs_f64() * 1e6;
+        // The learner accounts its model-refit wall separately, so the
+        // training wall splits into benchmark collection vs. refits.
+        phases.refit_us = tuning
+            .reports
+            .iter()
+            .map(|(_, o)| o.model_update_wall_us)
+            .sum();
+        phases.collect_us = (train_us - phases.refit_us).max(0.0);
+        self.counters.phase_collect_us.record(phases.collect_us);
+        self.counters.phase_refit_us.record(phases.refit_us);
+        if obs.is_enabled() {
+            obs.host_span_at(
+                "serve",
+                "collect",
+                track,
+                collect_from,
+                obs.now_us(),
+                vec![("refit_us".into(), phases.refit_us.into())],
+            );
+        }
 
         // Write back whatever completed — even on a cancelled job the
         // finished collectives' fresh measurements are kept.
+        let write_back_from = obs.now_us();
+        let write_back_started = Instant::now();
         let mut keys = Vec::with_capacity(tuning.reports.len());
         let mut iterations = 0;
         let mut fresh_points = 0;
@@ -713,6 +855,22 @@ impl ServiceInner {
             obs.incr_counter("store.entries_written", 1);
             self.cache.insert(Arc::new(ServedModel::from_entry(&entry)));
         }
+        self.counters.cache_size.set(self.cache.len() as f64);
+        phases.write_back_us = write_back_started.elapsed().as_secs_f64() * 1e6;
+        self.counters.phase_write_back_us.record(phases.write_back_us);
+        if obs.is_enabled() {
+            obs.host_span_at(
+                "serve",
+                "write_back",
+                track,
+                write_back_from,
+                obs.now_us(),
+                vec![
+                    ("iterations".into(), (iterations as u64).into()),
+                    ("fresh_points".into(), (fresh_points as u64).into()),
+                ],
+            );
+        }
         if !completed {
             return Ok(None);
         }
@@ -728,79 +886,258 @@ impl ServiceInner {
 
     fn worker_loop(inner: &Arc<ServiceInner>) {
         while let Some(job) = inner.queue.pop_blocking() {
-            inner.counters.queue_depth.set(inner.queue.len() as f64);
-            if job.state.is_cancelled() {
-                inner.finish(&job.state, JobStatus::Cancelled);
-                continue;
-            }
-            // Coalesce identical queued requests behind this run.
-            let riders = inner.queue.take_matching(job.fingerprint);
-            inner.counters.coalesced.add(riders.len() as u64);
-            inner.counters.queue_depth.set(inner.queue.len() as f64);
+            inner.counters.queue_depth.sub(1.0);
+            inner.counters.active_jobs.add(1.0);
+            inner.process_one(job);
+            inner.counters.active_jobs.sub(1.0);
+        }
+    }
 
-            let _span = inner.obs.span("serve", "job");
-            // Fast path: everything already tuned — serve from cache,
-            // no slot, no training.
-            if let Some(result) = inner.serve_cached(&job.request) {
-                inner.counters.cache_served.incr();
-                let result = Arc::new(result);
-                inner.finish(&job.state, JobStatus::Done(result.clone()));
-                for r in &riders {
-                    inner.finish(&r.state, JobStatus::Done(result.clone()));
-                }
-                continue;
-            }
+    /// Drive one popped job to a terminal status, timing each phase and
+    /// recording the request in the flight ring.
+    fn process_one(&self, job: QueuedJob) {
+        let processing = Instant::now();
+        let queue_wait_us = job.submitted.elapsed().as_secs_f64() * 1e6;
+        let track = format!("req {}", job.state.id());
+        let t_pop = self.obs.now_us();
+        if self.obs.is_enabled() {
+            self.obs.host_span_at(
+                "serve",
+                "queue_wait",
+                &track,
+                (t_pop - queue_wait_us).max(0.0),
+                t_pop,
+                vec![
+                    ("id".into(), job.state.id().into()),
+                    ("class".into(), job.priority.label().into()),
+                ],
+            );
+        }
+        let mut phases = PhaseTimings {
+            queue_wait_us,
+            ..PhaseTimings::default()
+        };
 
-            let slot = inner.slots.acquire();
-            inner.counters.slots_in_use.set(inner.slots.in_use() as f64);
-            job.state.set(JobStatus::Running);
+        if job.state.is_cancelled() {
+            self.finish(&job.state, JobStatus::Cancelled);
+            phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
+            self.note_request(&job, 0, "cancelled", phases, &track);
+            return;
+        }
+        // Coalesce identical queued requests behind this run.
+        let riders = self.queue.take_matching(job.fingerprint);
+        self.counters.queue_depth.sub(riders.len() as f64);
+        self.counters.coalesced.add(riders.len() as u64);
+        let rider_count = riders.len() as u64;
+
+        let _span = self.obs.span("serve", "job");
+        // Fast path: everything already tuned — serve from cache,
+        // no slot, no training.
+        if let Some(result) = self.serve_cached(&job.request) {
+            self.counters.cache_served.incr();
+            let result = Arc::new(result);
+            self.finish(&job.state, JobStatus::Done(result.clone()));
             for r in &riders {
-                r.state.set(JobStatus::Running);
+                self.finish(&r.state, JobStatus::Done(result.clone()));
             }
-            let outcome = inner.run_tune(&job.request, &job.state);
-            drop(slot);
-            inner.counters.slots_in_use.set(inner.slots.in_use() as f64);
+            phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
+            self.note_request(&job, rider_count, "cached", phases, &track);
+            return;
+        }
 
-            match outcome {
-                Ok(Some(result)) => {
-                    inner.counters.trained.incr();
-                    let result = Arc::new(result);
-                    inner.finish(&job.state, JobStatus::Done(result.clone()));
-                    for r in &riders {
-                        inner.finish(&r.state, JobStatus::Done(result.clone()));
-                    }
+        let slot = self.slots.acquire();
+        self.counters.slots_in_use.set(self.slots.in_use() as f64);
+        job.state.set(JobStatus::Running);
+        for r in &riders {
+            r.state.set(JobStatus::Running);
+        }
+        let outcome = self.run_tune(&job.request, &job.state, &mut phases, &track);
+        drop(slot);
+        self.counters.slots_in_use.set(self.slots.in_use() as f64);
+
+        let outcome_label = match outcome {
+            Ok(Some(result)) => {
+                self.counters.trained.incr();
+                let result = Arc::new(result);
+                self.finish(&job.state, JobStatus::Done(result.clone()));
+                for r in &riders {
+                    self.finish(&r.state, JobStatus::Done(result.clone()));
                 }
-                Ok(None) => {
-                    // The primary was cancelled mid-run. Its riders
-                    // asked for the same work and still want it: any
-                    // not themselves cancelled go back in the queue.
-                    inner.finish(&job.state, JobStatus::Cancelled);
-                    for r in riders {
-                        if r.state.is_cancelled() {
-                            inner.finish(&r.state, JobStatus::Cancelled);
+                "trained"
+            }
+            Ok(None) => {
+                // The primary was cancelled mid-run. Its riders
+                // asked for the same work and still want it: any
+                // not themselves cancelled go back in the queue.
+                self.finish(&job.state, JobStatus::Cancelled);
+                for r in riders {
+                    if r.state.is_cancelled() {
+                        self.finish(&r.state, JobStatus::Cancelled);
+                    } else {
+                        r.state.set(JobStatus::Queued);
+                        if self
+                            .queue
+                            .push(r.priority, r.fingerprint, r.request, r.state.clone())
+                        {
+                            self.counters.queue_depth.add(1.0);
                         } else {
-                            r.state.set(JobStatus::Queued);
-                            if !inner
-                                .queue
-                                .push(r.priority, r.fingerprint, r.request, r.state.clone())
-                            {
-                                inner.finish(
-                                    &r.state,
-                                    JobStatus::Failed("service is shutting down".into()),
-                                );
-                            }
+                            self.finish(
+                                &r.state,
+                                JobStatus::Failed("service is shutting down".into()),
+                            );
                         }
                     }
-                    inner.counters.queue_depth.set(inner.queue.len() as f64);
                 }
-                Err(e) => {
-                    let message = e.to_string();
-                    inner.finish(&job.state, JobStatus::Failed(message.clone()));
-                    for r in &riders {
-                        inner.finish(&r.state, JobStatus::Failed(message.clone()));
-                    }
-                }
+                "cancelled"
             }
+            Err(e) => {
+                let message = e.to_string();
+                self.finish(&job.state, JobStatus::Failed(message.clone()));
+                for r in &riders {
+                    self.finish(&r.state, JobStatus::Failed(message.clone()));
+                }
+                "failed"
+            }
+        };
+        phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
+        self.note_request(&job, rider_count, outcome_label, phases, &track);
+    }
+
+    /// Record a finished request everywhere the telemetry wants it:
+    /// queue-wait and end-to-end histograms, the slow log, the flight
+    /// ring, and a whole-request host span. (The intermediate phase
+    /// histograms are recorded by [`ServiceInner::run_tune`], which
+    /// knows which phases actually ran.)
+    fn note_request(
+        &self,
+        job: &QueuedJob,
+        riders: u64,
+        outcome: &str,
+        phases: PhaseTimings,
+        track: &str,
+    ) {
+        let c = &self.counters;
+        c.phase_queue_wait_us.record(phases.queue_wait_us);
+        c.phase_total_us.record(phases.total_us);
+        let slow = self.is_slow(phases.total_us);
+        if slow {
+            c.slow_requests.incr();
+            self.diag.warn(&format!(
+                "slow request id={} fingerprint={:016x} outcome={} total={:.0}us \
+                 (queue={:.0} probe={:.0} collect={:.0} refit={:.0} write_back={:.0})",
+                job.state.id(),
+                job.fingerprint,
+                outcome,
+                phases.total_us,
+                phases.queue_wait_us,
+                phases.probe_us,
+                phases.collect_us,
+                phases.refit_us,
+                phases.write_back_us,
+            ));
+        }
+        self.flight.record(FlightRecord {
+            id: job.state.id(),
+            fingerprint: job.fingerprint,
+            class: job.priority.label().to_string(),
+            outcome: outcome.to_string(),
+            riders,
+            slow,
+            phases,
+        });
+        if self.obs.is_enabled() {
+            let end = self.obs.now_us();
+            self.obs.host_span_at(
+                "serve",
+                "request",
+                track,
+                (end - phases.total_us).max(0.0),
+                end,
+                vec![
+                    ("id".into(), job.state.id().into()),
+                    ("fingerprint".into(), job.fingerprint.into()),
+                    ("class".into(), job.priority.label().into()),
+                    ("outcome".into(), outcome.into()),
+                    ("riders".into(), riders.into()),
+                    ("slow".into(), slow.into()),
+                ],
+            );
+        }
+    }
+
+    /// Whether `total_us` trips the slow-request threshold: a
+    /// configured `--slow-log` factor, a small warm-up so the median
+    /// means something, and `total > factor × p50`. With telemetry
+    /// disabled the histogram stays empty, so nothing is ever slow.
+    fn is_slow(&self, total_us: f64) -> bool {
+        const MIN_SAMPLES: u64 = 8;
+        let Some(factor) = self.slow_log_factor else {
+            return false;
+        };
+        let snap = self.counters.phase_total_us.snapshot();
+        snap.count >= MIN_SAMPLES && total_us > factor * snap.quantile(0.5)
+    }
+
+    /// See [`TuneService::observe`].
+    fn observe_drift(
+        &self,
+        request: &QueryRequest,
+        algorithm: &str,
+        observed_us: f64,
+    ) -> DriftSample {
+        let unmatched = || {
+            self.counters.drift_unmatched.incr();
+            DriftSample {
+                matched: false,
+                predicted_us: None,
+                ratio: None,
+            }
+        };
+        let sig = ClusterSignature::new(
+            &request.dataset,
+            &request.config.space,
+            request.collective,
+            &request.config.learner.collection,
+        );
+        let Some(model) = self.serving_model(&sig) else {
+            return unmatched();
+        };
+        let Some(alg) = request
+            .collective
+            .algorithms()
+            .iter()
+            .copied()
+            .find(|a| a.name() == algorithm)
+        else {
+            return unmatched();
+        };
+        let row = request
+            .point
+            .features_with_algorithm(alg.index_within_collective());
+        let predicted_us = model.forest.predict(&row).exp();
+        if !(predicted_us > 0.0 && observed_us > 0.0) {
+            return unmatched();
+        }
+        let ratio = observed_us / predicted_us;
+        let c = &self.counters;
+        c.drift_observations.incr();
+        c.drift_cost_ratio.record(ratio);
+        c.drift_last_ratio.set(ratio);
+        if self.obs.is_enabled() {
+            let mut means = self.drift_means.lock().unwrap();
+            let (n, mean) = means.entry(sig.key()).or_insert((0u64, 0.0f64));
+            *n += 1;
+            *mean += (ratio - *mean) / *n as f64;
+            let mean = *mean;
+            c.drift_signatures.set(means.len() as f64);
+            let short: String = sig.key().chars().take(16).collect();
+            drop(means);
+            self.obs.set_gauge(&format!("drift.ratio.{short}"), mean);
+        }
+        DriftSample {
+            matched: true,
+            predicted_us: Some(predicted_us),
+            ratio: Some(ratio),
         }
     }
 }
@@ -814,6 +1151,20 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("acclaim-serve-service-{name}"));
         std::fs::remove_dir_all(&dir).ok();
         dir
+    }
+
+    /// Spin until the flight ring holds `n` records. `wait()` returns
+    /// when the job result lands, but the worker writes its telemetry
+    /// just after — and the flight record is the last write, so once
+    /// it lands the histograms and counters are settled too.
+    fn settle_flight(service: &TuneService, n: usize) {
+        for _ in 0..2000 {
+            if service.flight_recent(64).len() >= n {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("flight ring never reached {n} records");
     }
 
     /// A `before_collective` hook that blocks exactly its first call
@@ -1014,6 +1365,127 @@ mod tests {
         service.shutdown();
         let late = service.submit(request(2, vec![Collective::Bcast]));
         assert!(matches!(late.wait(), JobStatus::Failed(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_phase_and_drift_telemetry_cover_the_request_lifecycle() {
+        let dir = temp_dir("telemetry");
+        // A zero factor makes everything past the warm-up "slow",
+        // exercising the counter without wall-clock assumptions.
+        let config = ServeConfig {
+            workers: 1,
+            slow_log_factor: Some(0.0),
+            diag: Diag::new(true),
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::enabled()).unwrap();
+        let req = request(11, vec![Collective::Bcast]);
+        for _ in 0..10 {
+            let done = service.submit(req.clone()).wait();
+            assert!(matches!(done, JobStatus::Done(_)));
+        }
+        settle_flight(&service, 10);
+
+        // Flight ring: one record per request, trained first, then
+        // cache hits; every record carries a positive total.
+        let records = service.flight_recent(16);
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[0].outcome, "trained");
+        assert!(records[1..].iter().all(|r| r.outcome == "cached"));
+        assert!(records.iter().all(|r| r.phases.total_us > 0.0));
+        assert!(records[0].phases.collect_us > 0.0);
+        assert!(records[0].phases.write_back_us > 0.0);
+        // The dump validates against the flight schema.
+        acclaim_obs::schema::validate_flight_records(&FlightRecorder::to_jsonl(&records))
+            .unwrap();
+
+        // Slow log: with factor 0 every request past the 8-sample
+        // warm-up trips the threshold.
+        let snapshot = service.metrics();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert!(counter("serve.slow_requests").unwrap_or(0) >= 1);
+        let hist = |name: &str| {
+            snapshot
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.clone())
+                .unwrap()
+        };
+        assert_eq!(hist("serve.phase.total_us").count, 10);
+        assert_eq!(hist("serve.phase.queue_wait_us").count, 10);
+        assert_eq!(hist("serve.phase.collect_us").count, 1);
+
+        // Drift: a matched observation records a ratio; an unmatched
+        // algorithm only bumps drift.unmatched.
+        let q = QueryRequest {
+            dataset: req.dataset.clone(),
+            config: req.config.clone(),
+            collective: Collective::Bcast,
+            point: Point::new(2, 2, 1024),
+        };
+        let selected = service.query(&q);
+        let sample = service.observe(&q, &selected.algorithm, 25.0);
+        assert!(sample.matched);
+        assert!(sample.ratio.unwrap() > 0.0);
+        let miss = service.observe(&q, "no_such_algorithm", 25.0);
+        assert!(!miss.matched);
+        let snapshot = service.metrics();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("drift.observations"), Some(1));
+        assert_eq!(counter("drift.unmatched"), Some(1));
+        assert!(snapshot
+            .gauges
+            .iter()
+            .any(|(n, _)| n.starts_with("drift.ratio.")));
+
+        // Gauges settle: nothing queued or running after the waits.
+        let gauge = |name: &str| {
+            snapshot
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(gauge("serve.queue_depth"), Some(0.0));
+        assert_eq!(gauge("serve.active_jobs"), Some(0.0));
+        assert_eq!(gauge("serve.cache_size"), Some(1.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_disabled_service_still_records_flight_but_never_slow() {
+        let dir = temp_dir("telemetry-off");
+        let config = ServeConfig {
+            slow_log_factor: Some(0.0),
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::disabled()).unwrap();
+        let req = request(12, vec![Collective::Reduce]);
+        for _ in 0..10 {
+            service.submit(req.clone()).wait();
+        }
+        settle_flight(&service, 10);
+        let records = service.flight_recent(16);
+        assert_eq!(records.len(), 10, "flight recording is obs-independent");
+        assert!(
+            records.iter().all(|r| !r.slow),
+            "disabled metrics keep the median empty, so nothing is ever slow"
+        );
+        assert!(service.metrics().counters.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -55,6 +55,7 @@ fn thousand_concurrent_sessions_converge_and_reproduce_by_seed() {
         pool: 16,
         seed: 11,
         queries_per_session: 1,
+        observe: true,
     };
 
     let run_once = |name: &str| {
