@@ -8,10 +8,13 @@
 //! (identical concurrent requests coalesce server-side).
 //!
 //! `client` is the matching client. An op (positional, or `--op`) of
-//! `tune|query|stats|metrics|trace|watch|shutdown` sends requests:
-//! `metrics` scrapes the live metrics (Prometheus text, or the JSON
-//! exposition with `--json`), `trace` dumps recent flight-recorder
-//! records, and `watch` polls a refreshing one-line summary. `--load N`
+//! `tune|query|observe|drift|stats|metrics|trace|watch|shutdown` sends
+//! requests: `metrics` scrapes the live metrics (Prometheus text, or
+//! the JSON exposition with `--json`), `trace` dumps recent
+//! flight-recorder records, `observe` feeds back observed costs at
+//! `--factor ×` the served prediction (exercising the drift policy),
+//! `drift` reports the detector's per-signature state, and `watch`
+//! polls a refreshing one-line summary. `--load N`
 //! drives N deterministic tune sessions (each with follow-up queries
 //! and drift observations) over `--clients` concurrent connections
 //! using the seeded request pool from [`acclaim_serve::loadgen`] — the
@@ -51,7 +54,7 @@ mod unix {
         WireRequest, WireResponse,
     };
     use acclaim_serve::{
-        loadgen, Priority, QueryRequest, ServeConfig, TuneService,
+        loadgen, DriftConfig, Priority, QueryRequest, ServeConfig, TuneService,
     };
     use acclaim_store::EntryFormat;
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -72,10 +75,18 @@ mod unix {
 
     /// `acclaim serve --store DIR [--socket PATH] [--workers N]
     /// [--slots N] [--shards N] [--format json|binary] [--flight N]
-    /// [--slow-log FACTOR]`
+    /// [--slow-log FACTOR] [--cache-cap N] [--drift-band B]
+    /// [--drift-min-obs N] [--drift-cooldown N] [--drift-deweight W]
+    /// [--drift-max-signatures N]`
+    ///
+    /// `--drift-band` > 1 arms the drift policy engine: signatures
+    /// whose mean observed/predicted ratio leaves `[1/B, B]` get a
+    /// Low-priority warm re-tune queued automatically. The default
+    /// band (0) keeps the daemon measurement-only.
     ///
     /// Runs until a client sends `Shutdown`; the exit report prints the
-    /// `serve.*` counters and gauges plus phase-latency quantiles.
+    /// `serve.*`/`drift.*` counters and gauges plus phase-latency
+    /// quantiles.
     pub fn serve(args: &Args, diag: &Diag) -> Result<String, String> {
         let dir = args
             .get("store")
@@ -100,6 +111,18 @@ mod unix {
             },
             flight_capacity: args.num_or("flight", 256usize)?,
             slow_log_factor: args.get_num::<f64>("slow-log")?,
+            cache_capacity: args.num_or("cache-cap", 0usize)?,
+            drift: {
+                let defaults = DriftConfig::default();
+                DriftConfig {
+                    band: args.num_or("drift-band", defaults.band)?,
+                    min_obs: args.num_or("drift-min-obs", defaults.min_obs)?,
+                    cooldown_obs: args.num_or("drift-cooldown", defaults.cooldown_obs)?,
+                    deweight: args.num_or("drift-deweight", defaults.deweight)?,
+                    max_signatures: args
+                        .num_or("drift-max-signatures", defaults.max_signatures)?,
+                }
+            },
             diag: *diag,
             ..ServeConfig::default()
         };
@@ -145,11 +168,12 @@ mod unix {
         std::fs::remove_file(&socket).ok();
 
         let snap = obs.snapshot();
+        let telemetry = |name: &str| name.starts_with("serve.") || name.starts_with("drift.");
         let counters: Vec<String> = snap
             .metrics
             .counters
             .iter()
-            .filter(|(name, _)| name.starts_with("serve."))
+            .filter(|(name, _)| telemetry(name))
             .map(|(name, value)| format!("{}={value}", name.trim_start_matches("serve.")))
             .collect();
         let mut report = format!(
@@ -160,7 +184,6 @@ mod unix {
                 counters.join(" ")
             }
         );
-        let telemetry = |name: &str| name.starts_with("serve.") || name.starts_with("drift.");
         let gauges: Vec<String> = snap
             .metrics
             .gauges
@@ -279,10 +302,11 @@ mod unix {
 
     /// `acclaim client [--socket PATH] [--wait-server SECS]
     /// (<op> | --op OP | --load N)` where OP is
-    /// `tune|query|stats|metrics|trace|watch|shutdown`, plus the
-    /// request shape options (`--pool`, `--pool-index`, `--seed`,
-    /// `--priority`, `--clients`, `--queries`, `--nodes`, `--ppn`,
-    /// `--msg`, `--last`, `--json`, `--refresh`, `--interval-ms`).
+    /// `tune|query|observe|drift|stats|metrics|trace|watch|shutdown`,
+    /// plus the request shape options (`--pool`, `--pool-index`,
+    /// `--seed`, `--priority`, `--clients`, `--queries`, `--nodes`,
+    /// `--ppn`, `--msg`, `--last`, `--json`, `--refresh`,
+    /// `--interval-ms`, `--count`, `--factor`).
     pub fn client(args: &Args, diag: &Diag) -> Result<String, String> {
         let socket = socket_path(args);
         let wait = args.num_or("wait-server", 0u64)?;
@@ -302,6 +326,9 @@ mod unix {
         };
         if op == "watch" {
             return watch(args, diag, &mut conn);
+        }
+        if op == "observe" {
+            return observe(args, &mut conn, seed, pool_size);
         }
         let request = match op {
             "tune" => {
@@ -329,6 +356,7 @@ mod unix {
                 }
             }
             "stats" => WireRequest::Stats,
+            "drift" => WireRequest::DriftStatus,
             "metrics" => WireRequest::Metrics,
             "trace" => WireRequest::Trace {
                 last: args.num_or("last", 32u64)?,
@@ -336,8 +364,8 @@ mod unix {
             "shutdown" => WireRequest::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown op '{other}' (tune | query | stats | metrics | trace | watch | \
-                     shutdown)"
+                    "unknown op '{other}' (tune | query | observe | drift | stats | metrics | \
+                     trace | watch | shutdown)"
                 ))
             }
         };
@@ -410,6 +438,69 @@ mod unix {
         Ok(out)
     }
 
+    /// `client observe`: query the daemon for one point, then feed back
+    /// `--count` observed costs at `--factor ×` the served prediction —
+    /// the scriptable way to exercise the drift policy engine (a factor
+    /// outside the daemon's `--drift-band` drives the signature toward
+    /// a warm re-tune).
+    fn observe(
+        args: &Args,
+        conn: &mut Connection,
+        seed: u64,
+        pool_size: usize,
+    ) -> Result<String, String> {
+        let index = args.num_or("pool-index", 0usize)?;
+        let pool = loadgen::request_pool(pool_size.max(index + 1), seed);
+        let base = &pool[index];
+        let query = QueryRequest {
+            dataset: base.dataset.clone(),
+            config: base.config.clone(),
+            collective: base.collectives[0],
+            point: acclaim_dataset::Point::new(
+                args.num_or("nodes", 2u32)?,
+                args.num_or("ppn", 2u32)?,
+                args.num_or("msg", 1024u64)?,
+            ),
+        };
+        let reply = conn.round_trip(&WireRequest::Query {
+            request: query.clone(),
+        })?;
+        let WireResponse::Selected { response } = reply else {
+            return Err(format!("unexpected reply to Query: {reply:?}"));
+        };
+        let Some(predicted) = response.predicted_us else {
+            return Err(format!(
+                "selection '{}' came from {:?} without a prediction; tune the signature first",
+                response.algorithm, response.source
+            ));
+        };
+        let count = args.num_or("count", 1usize)?;
+        let factor = args.num_or("factor", 1.0f64)?;
+        let mut matched = 0usize;
+        let mut last_ratio = None;
+        for _ in 0..count {
+            match conn.round_trip(&WireRequest::Observe {
+                request: query.clone(),
+                algorithm: response.algorithm.clone(),
+                observed_us: predicted * factor,
+            })? {
+                WireResponse::Drift { sample } => {
+                    matched += usize::from(sample.matched);
+                    last_ratio = sample.ratio.or(last_ratio);
+                }
+                other => return Err(format!("unexpected reply to Observe: {other:?}")),
+            }
+        }
+        Ok(format!(
+            "observe: algorithm={} predicted={predicted:.2}us factor={factor} count={count} \
+             matched={matched}{}\n",
+            response.algorithm,
+            last_ratio
+                .map(|r| format!(" ratio={r:.3}"))
+                .unwrap_or_default(),
+        ))
+    }
+
     fn render_response(response: &WireResponse, json: bool) -> Result<String, String> {
         match response {
             WireResponse::Tuned {
@@ -441,6 +532,7 @@ mod unix {
             WireResponse::Stats { stats } => Ok(format!(
                 "stats: entries={} cached_models={} queue_depth={} slots_free={} \
                  requests={} completed={} trained={} cache_served={} coalesced={} \
+                 attached={} retuned={} drift_triggered={} cache_evicted={} \
                  cancelled={} failed={} queries={} defaults={} p50_query_us={:.1}\n",
                 stats.entries,
                 stats.cached_models,
@@ -451,6 +543,10 @@ mod unix {
                 stats.trained,
                 stats.cache_served,
                 stats.coalesced,
+                stats.attached,
+                stats.retuned,
+                stats.drift_triggered,
+                stats.cache_evicted,
                 stats.cancelled,
                 stats.failed,
                 stats.queries,
@@ -493,6 +589,43 @@ mod unix {
                     }
                     Ok(out)
                 }
+            }
+            WireResponse::DriftReport { report } => {
+                if json {
+                    let mut out = serde_json::to_string(report)
+                        .map_err(|e| format!("serializing drift report: {e}"))?;
+                    out.push('\n');
+                    return Ok(out);
+                }
+                let mut out = format!(
+                    "drift: band={} enabled={} min_obs={} cooldown={} tracked={} triggered={} \
+                     completed={} suppressed={} evicted={}\n",
+                    report.band,
+                    report.enabled,
+                    report.min_obs,
+                    report.cooldown_obs,
+                    report.tracked,
+                    report.triggered,
+                    report.completed,
+                    report.suppressed,
+                    report.evicted,
+                );
+                for s in &report.signatures {
+                    out.push_str(&format!(
+                        "  {} obs={} window={} mean={:.3} last={:.3} armed={} in_flight={} \
+                         cooldown_left={} retunes={}\n",
+                        s.key,
+                        s.observations,
+                        s.window,
+                        s.mean,
+                        s.last_ratio,
+                        s.armed,
+                        s.in_flight,
+                        s.cooldown_left,
+                        s.retunes,
+                    ));
+                }
+                Ok(out)
             }
             WireResponse::Drift { sample } => Ok(format!(
                 "drift: matched={}{}{}\n",
@@ -766,6 +899,33 @@ mod unix {
             stats.extend(["--op", "stats"]);
             let out = client(&args(&stats), &diag).unwrap();
             assert!(out.contains("stats: entries="), "{out}");
+            assert!(out.contains("drift_triggered=0"), "{out}");
+            assert!(out.contains("cache_evicted=0"), "{out}");
+
+            // Feed back observations at exactly the prediction, then
+            // read the detector state: tracked, never triggered (the
+            // daemon runs with the default disabled band).
+            let mut observe = base.to_vec();
+            observe.extend(["observe", "--pool-index", "1", "--count", "3"]);
+            let out = client(&args(&observe), &diag).unwrap();
+            assert!(out.contains("count=3 matched=3"), "{out}");
+            assert!(out.contains("ratio=1.000"), "{out}");
+
+            let mut drift = base.to_vec();
+            drift.extend(["drift"]);
+            let out = client(&args(&drift), &diag).unwrap();
+            assert!(out.contains("drift: band=0 enabled=false"), "{out}");
+            assert!(out.contains("triggered=0"), "{out}");
+            assert!(out.contains("armed=true"), "{out}");
+
+            let mut drift_json = base.to_vec();
+            drift_json.extend(["drift", "--json"]);
+            let out = client(&args(&drift_json), &diag).unwrap();
+            let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert!(
+                parsed.get("tracked").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+                "{out}"
+            );
 
             // Live telemetry verbs: Prometheus text, metrics JSON,
             // flight dump (human + JSONL), and the watch summary.

@@ -249,8 +249,9 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Terminal outcomes a flight record may carry.
-pub const FLIGHT_OUTCOMES: [&str; 4] = ["trained", "cached", "cancelled", "failed"];
+/// Terminal outcomes a flight record may carry. `retuned` marks a
+/// drift-triggered warm re-tune the service submitted to itself.
+pub const FLIGHT_OUTCOMES: [&str; 5] = ["trained", "retuned", "cached", "cancelled", "failed"];
 
 /// Phase fields every flight record's `phases` object must carry.
 pub const FLIGHT_PHASES: [&str; 6] = [

@@ -57,12 +57,14 @@
 
 #![warn(missing_docs)]
 
+mod drift;
 mod index;
 pub mod loadgen;
 pub mod protocol;
 mod queue;
 mod service;
 
+pub use drift::{DriftConfig, DriftSignatureStatus, DriftStatusReport};
 pub use index::SharedStore;
 pub use queue::{JobId, JobStatus, Priority};
 pub use service::{

@@ -18,6 +18,7 @@
 //! requests cheap); `Cancel`/`Status` act on job ids returned by
 //! `Tuned` responses on *other* connections.
 
+use crate::drift::DriftStatusReport;
 use crate::queue::JobStatus;
 use crate::service::{
     DriftSample, QueryRequest, QueryResponse, ServiceStats, TuneRequest, TuneService,
@@ -58,8 +59,12 @@ pub enum WireRequest {
         /// Maximum records to return (newest win; oldest-first order).
         last: u64,
     },
-    /// Feed back an observed cost for a previously served selection
-    /// (drift measurement; never changes serving behavior).
+    /// Report the drift policy engine's state: the configured band and
+    /// every tracked signature's window, arming, and re-tune counts.
+    DriftStatus,
+    /// Feed back an observed cost for a previously served selection.
+    /// Always folds into the drift detector; with a drift band
+    /// configured, a drifted signature triggers a warm re-tune.
     Observe {
         /// The query the selection answered.
         request: QueryRequest,
@@ -132,6 +137,11 @@ pub enum WireResponse {
     Drift {
         /// Matched/predicted/ratio payload.
         sample: DriftSample,
+    },
+    /// The drift policy engine's state.
+    DriftReport {
+        /// Detector configuration plus per-signature windows.
+        report: DriftStatusReport,
     },
     /// Acknowledges shutdown; the connection closes after this.
     Bye,
@@ -240,6 +250,12 @@ pub fn handle_request(service: &TuneService, request: WireRequest) -> (WireRespo
             },
             false,
         ),
+        WireRequest::DriftStatus => (
+            WireResponse::DriftReport {
+                report: service.drift_status(),
+            },
+            false,
+        ),
         WireRequest::Observe {
             request,
             algorithm,
@@ -288,6 +304,7 @@ mod tests {
             WireRequest::Cancel { job: 3 },
             WireRequest::Status { job: 9 },
             WireRequest::Stats,
+            WireRequest::DriftStatus,
             WireRequest::Metrics,
             WireRequest::Trace { last: 32 },
             WireRequest::Observe {
@@ -363,6 +380,30 @@ mod tests {
                     matched: true,
                     predicted_us: Some(11.0),
                     ratio: Some(1.2),
+                },
+            },
+            WireResponse::DriftReport {
+                report: DriftStatusReport {
+                    band: 1.5,
+                    enabled: true,
+                    min_obs: 16,
+                    cooldown_obs: 32,
+                    tracked: 1,
+                    triggered: 2,
+                    completed: 1,
+                    suppressed: 0,
+                    evicted: 0,
+                    signatures: vec![crate::drift::DriftSignatureStatus {
+                        key: "00ff00ff00ff00ff".into(),
+                        observations: 40,
+                        window: 8,
+                        mean: 1.7,
+                        last_ratio: 1.9,
+                        armed: false,
+                        in_flight: true,
+                        cooldown_left: 12,
+                        retunes: 2,
+                    }],
                 },
             },
             WireResponse::Bye,

@@ -15,7 +15,7 @@
 //! late transition attempt is ignored, so a job that completed can
 //! never be "re-cancelled" into a different outcome.
 
-use crate::service::{TuneRequest, TuneResult};
+use crate::service::{RetuneSpec, TuneRequest, TuneResult};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -169,6 +169,11 @@ pub(crate) struct QueuedJob {
     /// When the job entered the queue (stamped by [`JobQueue::push`]);
     /// the worker's queue-wait phase is measured against this.
     pub submitted: std::time::Instant,
+    /// `Some` marks a drift-triggered warm re-tune (self-submitted by
+    /// the service, never a client): it skips the cached fast path,
+    /// deweights stale store rows, and reports back to the drift
+    /// detector on completion.
+    pub retune: Option<RetuneSpec>,
 }
 
 #[derive(Debug, Default)]
@@ -206,6 +211,7 @@ impl JobQueue {
         fingerprint: u64,
         request: TuneRequest,
         state: Arc<JobState>,
+        retune: Option<RetuneSpec>,
     ) -> bool {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
@@ -220,6 +226,7 @@ impl JobQueue {
             request,
             state,
             submitted: std::time::Instant::now(),
+            retune,
         });
         self.cv.notify_one();
         true
@@ -332,7 +339,7 @@ mod tests {
 
     fn push(q: &JobQueue, id: JobId, priority: Priority, fingerprint: u64) -> Arc<JobState> {
         let state = Arc::new(JobState::new(id));
-        assert!(q.push(priority, fingerprint, request(id), state.clone()));
+        assert!(q.push(priority, fingerprint, request(id), state.clone(), None));
         state
     }
 
@@ -428,7 +435,7 @@ mod tests {
         q.close();
         assert!(waiter.join().unwrap(), "popper must wake with None");
         let state = Arc::new(JobState::new(9));
-        assert!(!q.push(Priority::Normal, 9, request(9), state));
+        assert!(!q.push(Priority::Normal, 9, request(9), state, None));
     }
 
     #[test]

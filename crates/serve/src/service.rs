@@ -19,6 +19,7 @@
 //! signatures. Warm queries are sub-millisecond; latencies land in the
 //! `serve.query_latency_us` histogram.
 
+use crate::drift::{DriftConfig, DriftDetector, DriftStatusReport};
 use crate::index::SharedStore;
 use crate::queue::{JobId, JobQueue, JobState, JobStatus, Priority, QueuedJob};
 use acclaim_collectives::{mpich_default, Collective};
@@ -28,8 +29,8 @@ use acclaim_ml::FlatForest;
 use acclaim_netsim::Fingerprint;
 use acclaim_obs::{Diag, FlightRecord, FlightRecorder, MetricsSnapshot, Obs, PhaseTimings};
 use acclaim_store::{
-    entry_from_outcome, warm_start_from_probe, ClusterSignature, Compatibility, EntryFormat,
-    StoreEntry,
+    entry_from_outcome, warm_start_deweighted, warm_start_from_probe, ClusterSignature,
+    Compatibility, EntryFormat, StoreEntry,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -142,15 +143,40 @@ pub struct ServiceHooks {
     /// id. Tests use this to hold a job mid-run at a deterministic
     /// boundary (e.g. to cancel it).
     pub before_collective: Option<Arc<dyn Fn(JobId) + Send + Sync>>,
+    /// Benchmark-environment factory used by training runs. `None`
+    /// (production) builds [`BenchmarkDatabase::new`] from the
+    /// request's dataset; tests inject a factory to shift the
+    /// simulated cluster *under* an unchanged signature — the drift
+    /// scenario the detector exists for.
+    #[allow(clippy::type_complexity)]
+    pub database: Option<Arc<dyn Fn(&DatasetConfig) -> BenchmarkDatabase + Send + Sync>>,
 }
 
 impl std::fmt::Debug for ServiceHooks {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceHooks")
             .field("before_collective", &self.before_collective.is_some())
+            .field("database", &self.database.is_some())
             .finish()
     }
 }
+
+/// Marks a queued job as a drift-triggered re-tune and carries what the
+/// worker needs to treat it as one: the prior deweight and the detector
+/// keys to release when the job terminates.
+#[derive(Debug, Clone)]
+pub(crate) struct RetuneSpec {
+    /// Thinning weight for store rows from the drifted regime.
+    pub deweight: f64,
+    /// Detector signatures to mark no-longer-in-flight on completion.
+    pub keys: Vec<String>,
+}
+
+/// XOR-folded into a re-tune's queue fingerprint so re-tunes coalesce
+/// only with each other — a client request must never attach to a
+/// background re-tune (it would skip the cache fast path), nor ride
+/// one (its deweighted warm start is not the client path).
+const RETUNE_FINGERPRINT_TAG: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -175,6 +201,14 @@ pub struct ServeConfig {
     pub slow_log_factor: Option<f64>,
     /// Stderr diagnostics sink for slow-request lines.
     pub diag: Diag,
+    /// Drift policy: when (and whether) observed/predicted excursions
+    /// trigger background warm re-tunes. The default band disables
+    /// triggering, so a plain service is measurement-only.
+    pub drift: DriftConfig,
+    /// Serving-model cache capacity (models, across all shards); the
+    /// least recently used entry is evicted at capacity and re-warmed
+    /// from the store on next touch. `0` disables eviction.
+    pub cache_capacity: usize,
     /// Deterministic test hooks.
     pub hooks: ServiceHooks,
 }
@@ -190,6 +224,8 @@ impl Default for ServeConfig {
             flight_capacity: 256,
             slow_log_factor: None,
             diag: Diag::default(),
+            drift: DriftConfig::default(),
+            cache_capacity: 1024,
             hooks: ServiceHooks::default(),
         }
     }
@@ -257,32 +293,87 @@ impl ServedModel {
     }
 }
 
-/// Sharded map from store key to [`ServedModel`].
+/// One cached serving model plus its recency stamp. The stamp is
+/// atomic so `get` can bump it under the shard's *read* lock.
+#[derive(Debug)]
+struct CacheSlot {
+    model: Arc<ServedModel>,
+    last_used: AtomicU64,
+}
+
+/// Sharded map from store key to [`ServedModel`], bounded per shard
+/// with least-recently-used eviction. Evicted models are not lost —
+/// [`ServiceInner::serving_model`] re-warms them from the store on the
+/// next touch, bit-identically (the store entry is the source of
+/// truth; the cache only skips the disk read and re-flatten).
 #[derive(Debug)]
 struct RuleCache {
-    shards: Vec<RwLock<HashMap<String, Arc<ServedModel>>>>,
+    shards: Vec<RwLock<HashMap<String, CacheSlot>>>,
+    /// Global recency clock; monotone, shared by all shards.
+    tick: AtomicU64,
+    /// Per-shard capacity (`0` = unbounded).
+    per_shard_cap: usize,
 }
 
 impl RuleCache {
-    fn new(shards: usize) -> Self {
+    fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
         RuleCache {
-            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            tick: AtomicU64::new(0),
+            per_shard_cap: if capacity == 0 {
+                0
+            } else {
+                capacity.div_ceil(shards).max(1)
+            },
         }
     }
 
-    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, Arc<ServedModel>>> {
+    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, CacheSlot>> {
         let mut f = Fingerprint::new();
         f.write_str(key);
         &self.shards[(f.finish() % self.shards.len() as u64) as usize]
     }
 
-    fn insert(&self, model: Arc<ServedModel>) {
+    fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Insert (or replace) a model; at capacity the shard's least
+    /// recently used entry makes room first. Returns evictions (0/1).
+    fn insert(&self, model: Arc<ServedModel>) -> usize {
         let key = model.signature.key();
-        self.shard_for(&key).write().unwrap().insert(key, model);
+        let tick = self.touch();
+        let mut shard = self.shard_for(&key).write().unwrap();
+        let mut evicted = 0;
+        if self.per_shard_cap > 0
+            && !shard.contains_key(&key)
+            && shard.len() >= self.per_shard_cap
+        {
+            if let Some(stale) = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&stale);
+                evicted = 1;
+            }
+        }
+        shard.insert(
+            key,
+            CacheSlot {
+                model,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+        evicted
     }
 
     fn get(&self, key: &str) -> Option<Arc<ServedModel>> {
-        self.shard_for(key).read().unwrap().get(key).cloned()
+        let shard = self.shard_for(key).read().unwrap();
+        let slot = shard.get(key)?;
+        slot.last_used.store(self.touch(), Ordering::Relaxed);
+        Some(slot.model.clone())
     }
 
     fn len(&self) -> usize {
@@ -295,8 +386,11 @@ impl RuleCache {
 struct ServeCounters {
     tune_requests: acclaim_obs::Counter,
     coalesced: acclaim_obs::Counter,
+    attached: acclaim_obs::Counter,
     cache_served: acclaim_obs::Counter,
+    cache_evicted: acclaim_obs::Counter,
     trained: acclaim_obs::Counter,
+    retuned: acclaim_obs::Counter,
     completed: acclaim_obs::Counter,
     cancelled: acclaim_obs::Counter,
     failed: acclaim_obs::Counter,
@@ -316,6 +410,7 @@ struct ServeCounters {
     phase_total_us: acclaim_obs::Histogram,
     drift_observations: acclaim_obs::Counter,
     drift_unmatched: acclaim_obs::Counter,
+    drift_triggered: acclaim_obs::Counter,
     drift_cost_ratio: acclaim_obs::Histogram,
     drift_last_ratio: acclaim_obs::Gauge,
     drift_signatures: acclaim_obs::Gauge,
@@ -326,8 +421,11 @@ impl ServeCounters {
         ServeCounters {
             tune_requests: obs.counter("serve.tune_requests"),
             coalesced: obs.counter("serve.coalesced"),
+            attached: obs.counter("serve.attached"),
             cache_served: obs.counter("serve.cache_served"),
+            cache_evicted: obs.counter("serve.cache_evicted"),
             trained: obs.counter("serve.trained"),
+            retuned: obs.counter("serve.retuned"),
             completed: obs.counter("serve.completed"),
             cancelled: obs.counter("serve.cancelled"),
             failed: obs.counter("serve.failed"),
@@ -347,6 +445,7 @@ impl ServeCounters {
             phase_total_us: obs.histogram("serve.phase.total_us"),
             drift_observations: obs.counter("drift.observations"),
             drift_unmatched: obs.counter("drift.unmatched"),
+            drift_triggered: obs.counter("drift.triggered"),
             drift_cost_ratio: obs.histogram("drift.cost_ratio"),
             drift_last_ratio: obs.gauge("drift.last_ratio"),
             drift_signatures: obs.gauge("drift.signatures"),
@@ -375,6 +474,14 @@ pub struct ServiceStats {
     pub cache_served: u64,
     /// Requests coalesced behind another identical job.
     pub coalesced: u64,
+    /// Requests attached to an identical job already running.
+    pub attached: u64,
+    /// Drift excursions that triggered a background re-tune.
+    pub drift_triggered: u64,
+    /// Drift-triggered re-tunes that completed.
+    pub retuned: u64,
+    /// Serving models evicted by the cache capacity bound.
+    pub cache_evicted: u64,
     /// Jobs cancelled.
     pub cancelled: u64,
     /// Jobs failed on I/O errors.
@@ -401,9 +508,17 @@ pub(crate) struct ServiceInner {
     flight: FlightRecorder,
     slow_log_factor: Option<f64>,
     diag: Diag,
-    /// Per-signature running mean of observed/predicted cost ratios
-    /// (key → (count, mean)), backing the `drift.ratio.*` gauges.
-    drift_means: Mutex<HashMap<String, (u64, f64)>>,
+    /// The drift policy engine: per-signature ratio windows and the
+    /// trigger state machine. Updated on every `observe`, with or
+    /// without telemetry — policy must not be blind when the recorder
+    /// is off. Also backs the `drift.ratio.*` gauges.
+    drift: DriftDetector,
+    /// Fingerprints being processed right now, each with the late
+    /// riders that attached after the job left the queue. An identical
+    /// submission arriving mid-run attaches here instead of re-running
+    /// the tune; the worker settles the list when its job terminates.
+    /// Lock order: `inflight` before the queue's internal lock.
+    inflight: Mutex<HashMap<u64, Vec<QueuedJob>>>,
 }
 
 /// Handle to one submitted job.
@@ -466,7 +581,7 @@ impl TuneService {
     /// Open the store at `dir`, prewarm the signature index and rule
     /// cache from it in one scan, and start the worker pool.
     pub fn open(dir: impl AsRef<Path>, config: ServeConfig, obs: Obs) -> io::Result<TuneService> {
-        let cache = RuleCache::new(config.shards);
+        let cache = RuleCache::new(config.shards, config.cache_capacity);
         let shared = SharedStore::open_with(dir, config.shards, |entry| {
             cache.insert(Arc::new(ServedModel::from_entry(entry)));
         })?;
@@ -487,7 +602,8 @@ impl TuneService {
             flight: FlightRecorder::new(config.flight_capacity),
             slow_log_factor: config.slow_log_factor,
             diag: config.diag,
-            drift_means: Mutex::new(HashMap::new()),
+            drift: DriftDetector::new(config.drift),
+            inflight: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -506,26 +622,8 @@ impl TuneService {
 
     /// Submit a tune request; returns immediately with a handle.
     pub fn submit(&self, request: TuneRequest) -> JobHandle {
-        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
-        let state = Arc::new(JobState::new(id));
-        self.inner.jobs.lock().unwrap().insert(id, state.clone());
         self.inner.counters.tune_requests.incr();
-        let fingerprint = request.work_fingerprint();
-        if self
-            .inner
-            .queue
-            .push(request.priority, fingerprint, request, state.clone())
-        {
-            // Admissions and removals pair `add`/`sub` calls so the
-            // gauge is exact under concurrent submitters (a `set` from
-            // a racing re-read of `queue.len()` could go backwards).
-            self.inner.counters.queue_depth.add(1.0);
-        } else {
-            let failed = &self.inner.counters.failed;
-            state.set_with(JobStatus::Failed("service is shutting down".into()), || {
-                failed.incr();
-            });
-        }
+        let state = self.inner.enqueue(request, None);
         JobHandle {
             inner: self.inner.clone(),
             state,
@@ -598,6 +696,10 @@ impl TuneService {
             trained: c.trained.get(),
             cache_served: c.cache_served.get(),
             coalesced: c.coalesced.get(),
+            attached: c.attached.get(),
+            drift_triggered: c.drift_triggered.get(),
+            retuned: c.retuned.get(),
+            cache_evicted: c.cache_evicted.get(),
             cancelled: c.cancelled.get(),
             failed: c.failed.get(),
             queries: c.queries.get(),
@@ -622,13 +724,24 @@ impl TuneService {
 
     /// Feed back an *observed* cost (µs) for a selection this service
     /// previously answered, updating the `drift.*` metric family
-    /// (predicted-vs-observed residuals per served signature).
+    /// (predicted-vs-observed residuals per served signature) and the
+    /// drift policy engine.
     ///
-    /// Measurement only: drift observations never feed back into
+    /// With the drift policy disabled (the [`DriftConfig`] default)
+    /// observations are measurement-only: they never feed back into
     /// serving, training, or the store, preserving the telemetry
-    /// inertness contract.
+    /// inertness contract. With a trigger band configured, a sustained
+    /// excursion enqueues a low-priority warm re-tune for the drifted
+    /// signature (see [`TuneService::drift_status`]).
     pub fn observe(&self, request: &QueryRequest, algorithm: &str, observed_us: f64) -> DriftSample {
         self.inner.observe_drift(request, algorithm, observed_us)
+    }
+
+    /// A snapshot of the drift policy engine: global trigger counts
+    /// plus every tracked signature's window, arm/cooldown state, and
+    /// re-tune history. Served over the `DriftStatus` wire verb.
+    pub fn drift_status(&self) -> DriftStatusReport {
+        self.inner.drift.status()
     }
 
     /// The shared store (for tests and maintenance tooling).
@@ -649,6 +762,7 @@ impl TuneService {
         // unblock.
         for job in self.inner.queue.drain() {
             job.state.request_cancel();
+            self.inner.retune_terminal(&job, false);
             self.inner.finish(&job.state, JobStatus::Cancelled);
             self.inner.counters.queue_depth.sub(1.0);
         }
@@ -662,11 +776,76 @@ impl Drop for TuneService {
 }
 
 impl ServiceInner {
+    /// Admit one request: attach it to an identical job that is running
+    /// right now, or queue it. Shared by client submissions
+    /// ([`TuneService::submit`]) and the drift engine's self-submitted
+    /// re-tunes (`retune: Some`, which also tags the fingerprint so
+    /// re-tunes only ever coalesce with each other).
+    fn enqueue(&self, request: TuneRequest, retune: Option<RetuneSpec>) -> Arc<JobState> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::new(JobState::new(id));
+        self.jobs.lock().unwrap().insert(id, state.clone());
+        let fingerprint = match &retune {
+            Some(_) => request.work_fingerprint() ^ RETUNE_FINGERPRINT_TAG,
+            None => request.work_fingerprint(),
+        };
+        let retune_keys = retune.as_ref().map(|spec| spec.keys.clone());
+        // The inflight lock is held across the queue push so an
+        // identical job can never slip between "not running" and "in
+        // the queue" — the worker registers under the same lock before
+        // sweeping the queue for riders.
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(waiters) = inflight.get_mut(&fingerprint) {
+            // An identical job is mid-run: ride its result instead of
+            // re-running the whole tune.
+            state.set(JobStatus::Running);
+            self.counters.attached.incr();
+            waiters.push(QueuedJob {
+                seq: 0,
+                priority: request.priority,
+                fingerprint,
+                request,
+                state: state.clone(),
+                submitted: Instant::now(),
+                retune,
+            });
+            return state;
+        }
+        if self
+            .queue
+            .push(request.priority, fingerprint, request, state.clone(), retune)
+        {
+            // Admissions and removals pair `add`/`sub` calls so the
+            // gauge is exact under concurrent submitters (a `set` from
+            // a racing re-read of `queue.len()` could go backwards).
+            self.counters.queue_depth.add(1.0);
+        } else {
+            if let Some(keys) = &retune_keys {
+                self.drift.retune_finished(keys, false);
+            }
+            let failed = &self.counters.failed;
+            state.set_with(JobStatus::Failed("service is shutting down".into()), || {
+                failed.incr();
+            });
+        }
+        drop(inflight);
+        state
+    }
+
+    /// Release the drift detector's in-flight mark when a re-tune job
+    /// reaches a terminal status (no-op for client jobs).
+    fn retune_terminal(&self, job: &QueuedJob, success: bool) {
+        if let Some(spec) = &job.retune {
+            self.drift.retune_finished(&spec.keys, success);
+        }
+    }
+
     /// Cancel by id: queued jobs finish immediately, running jobs are
     /// flagged and cancel at the next collective boundary.
     fn cancel(&self, id: JobId) -> bool {
         if let Some(job) = self.queue.remove(id) {
             job.state.request_cancel();
+            self.retune_terminal(&job, false);
             self.finish(&job.state, JobStatus::Cancelled);
             self.counters.queue_depth.sub(1.0);
             return true;
@@ -707,7 +886,8 @@ impl ServiceInner {
             return None;
         }
         let model = Arc::new(ServedModel::from_entry(&entry));
-        self.cache.insert(model.clone());
+        let evicted = self.cache.insert(model.clone());
+        self.counters.cache_evicted.add(evicted as u64);
         self.counters.cache_size.set(self.cache.len() as f64);
         Some(model)
     }
@@ -751,9 +931,16 @@ impl ServiceInner {
         state: &Arc<JobState>,
         phases: &mut PhaseTimings,
         track: &str,
+        retune: Option<&RetuneSpec>,
     ) -> io::Result<Option<TuneResult>> {
         let obs = &self.obs;
-        let db = BenchmarkDatabase::new(request.dataset.clone());
+        // The test hooks can swap the benchmark database a request sees
+        // (to model a mid-run regime shift); production always builds
+        // straight from the request's dataset config.
+        let db = match &self.hooks.database {
+            Some(factory) => factory(&request.dataset),
+            None => BenchmarkDatabase::new(request.dataset.clone()),
+        };
 
         let probe_from = obs.now_us();
         let probe_started = Instant::now();
@@ -767,7 +954,14 @@ impl ServiceInner {
                 &request.config.learner.collection,
             );
             let probe = self.shared.probe(&sig)?;
-            if let Some(warm) = warm_start_from_probe(&probe, obs) {
+            // A drift re-tune distrusts the cached rows: even exact
+            // hits are demoted to thinned priors so fresh measurements
+            // from the shifted regime can outvote them.
+            let warm = match retune {
+                Some(spec) => warm_start_deweighted(&probe, spec.deweight, obs),
+                None => warm_start_from_probe(&probe, obs),
+            };
+            if let Some(warm) = warm {
                 warms.insert(c, warm);
             }
             signatures.push(sig);
@@ -853,7 +1047,8 @@ impl ServiceInner {
             fresh_points += entry.samples.len();
             self.shared.put(&entry, self.format)?;
             obs.incr_counter("store.entries_written", 1);
-            self.cache.insert(Arc::new(ServedModel::from_entry(&entry)));
+            let evicted = self.cache.insert(Arc::new(ServedModel::from_entry(&entry)));
+            self.counters.cache_evicted.add(evicted as u64);
         }
         self.counters.cache_size.set(self.cache.len() as f64);
         phases.write_back_us = write_back_started.elapsed().as_secs_f64() * 1e6;
@@ -919,30 +1114,44 @@ impl ServiceInner {
         };
 
         if job.state.is_cancelled() {
+            self.retune_terminal(&job, false);
             self.finish(&job.state, JobStatus::Cancelled);
             phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
             self.note_request(&job, 0, "cancelled", phases, &track);
             return;
         }
-        // Coalesce identical queued requests behind this run.
-        let riders = self.queue.take_matching(job.fingerprint);
+        // Register this run as in-flight and sweep queued duplicates
+        // under one lock, so an identical request arriving from here on
+        // attaches to this run instead of re-training (`enqueue` checks
+        // the in-flight map before pushing, under the same lock).
+        // `or_default` — never `insert` — because two workers can hold
+        // same-fingerprint jobs at once (both popped before either
+        // swept) and a blind insert would drop the first's riders.
+        let mut riders = {
+            let mut inflight = self.inflight.lock().unwrap();
+            inflight.entry(job.fingerprint).or_default();
+            self.queue.take_matching(job.fingerprint)
+        };
         self.counters.queue_depth.sub(riders.len() as f64);
         self.counters.coalesced.add(riders.len() as u64);
-        let rider_count = riders.len() as u64;
 
         let _span = self.obs.span("serve", "job");
         // Fast path: everything already tuned — serve from cache,
-        // no slot, no training.
-        if let Some(result) = self.serve_cached(&job.request) {
-            self.counters.cache_served.incr();
-            let result = Arc::new(result);
-            self.finish(&job.state, JobStatus::Done(result.clone()));
-            for r in &riders {
-                self.finish(&r.state, JobStatus::Done(result.clone()));
+        // no slot, no training. A drift re-tune skips this: its whole
+        // point is to replace what the cache would serve.
+        if job.retune.is_none() {
+            if let Some(result) = self.serve_cached(&job.request) {
+                self.counters.cache_served.incr();
+                let result = Arc::new(result);
+                riders.extend(self.settle_inflight(job.fingerprint));
+                self.finish(&job.state, JobStatus::Done(result.clone()));
+                for r in &riders {
+                    self.finish(&r.state, JobStatus::Done(result.clone()));
+                }
+                phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
+                self.note_request(&job, riders.len() as u64, "cached", phases, &track);
+                return;
             }
-            phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
-            self.note_request(&job, rider_count, "cached", phases, &track);
-            return;
         }
 
         let slot = self.slots.acquire();
@@ -951,36 +1160,60 @@ impl ServiceInner {
         for r in &riders {
             r.state.set(JobStatus::Running);
         }
-        let outcome = self.run_tune(&job.request, &job.state, &mut phases, &track);
+        let outcome = self.run_tune(
+            &job.request,
+            &job.state,
+            &mut phases,
+            &track,
+            job.retune.as_ref(),
+        );
         drop(slot);
         self.counters.slots_in_use.set(self.slots.in_use() as f64);
 
+        // Collect clients that attached while the tune ran; they settle
+        // with the same outcome as the queue-swept riders.
+        riders.extend(self.settle_inflight(job.fingerprint));
+        let rider_count = riders.len() as u64;
+
         let outcome_label = match outcome {
             Ok(Some(result)) => {
-                self.counters.trained.incr();
+                let label = if job.retune.is_some() {
+                    self.counters.retuned.incr();
+                    "retuned"
+                } else {
+                    self.counters.trained.incr();
+                    "trained"
+                };
+                self.retune_terminal(&job, true);
                 let result = Arc::new(result);
                 self.finish(&job.state, JobStatus::Done(result.clone()));
                 for r in &riders {
                     self.finish(&r.state, JobStatus::Done(result.clone()));
                 }
-                "trained"
+                label
             }
             Ok(None) => {
                 // The primary was cancelled mid-run. Its riders
                 // asked for the same work and still want it: any
                 // not themselves cancelled go back in the queue.
+                self.retune_terminal(&job, false);
                 self.finish(&job.state, JobStatus::Cancelled);
                 for r in riders {
                     if r.state.is_cancelled() {
+                        self.retune_terminal(&r, false);
                         self.finish(&r.state, JobStatus::Cancelled);
                     } else {
                         r.state.set(JobStatus::Queued);
+                        let retune_keys = r.retune.as_ref().map(|spec| spec.keys.clone());
                         if self
                             .queue
-                            .push(r.priority, r.fingerprint, r.request, r.state.clone())
+                            .push(r.priority, r.fingerprint, r.request, r.state.clone(), r.retune)
                         {
                             self.counters.queue_depth.add(1.0);
                         } else {
+                            if let Some(keys) = &retune_keys {
+                                self.drift.retune_finished(keys, false);
+                            }
                             self.finish(
                                 &r.state,
                                 JobStatus::Failed("service is shutting down".into()),
@@ -991,9 +1224,11 @@ impl ServiceInner {
                 "cancelled"
             }
             Err(e) => {
+                self.retune_terminal(&job, false);
                 let message = e.to_string();
                 self.finish(&job.state, JobStatus::Failed(message.clone()));
                 for r in &riders {
+                    self.retune_terminal(r, false);
                     self.finish(&r.state, JobStatus::Failed(message.clone()));
                 }
                 "failed"
@@ -1001,6 +1236,18 @@ impl ServiceInner {
         };
         phases.total_us = queue_wait_us + processing.elapsed().as_secs_f64() * 1e6;
         self.note_request(&job, rider_count, outcome_label, phases, &track);
+    }
+
+    /// Drop `fingerprint`'s in-flight registration and return any late
+    /// riders that attached while the job ran. Returns empty when a
+    /// concurrent same-fingerprint worker already settled the entry —
+    /// its clients got that worker's result, which is fine.
+    fn settle_inflight(&self, fingerprint: u64) -> Vec<QueuedJob> {
+        self.inflight
+            .lock()
+            .unwrap()
+            .remove(&fingerprint)
+            .unwrap_or_default()
     }
 
     /// Record a finished request everywhere the telemetry wants it:
@@ -1093,6 +1340,12 @@ impl ServiceInner {
                 ratio: None,
             }
         };
+        // A non-finite observation (`+inf`, NaN) would poison the
+        // running mean for this signature permanently — reject before
+        // any state is touched.
+        if !(observed_us.is_finite() && observed_us > 0.0) {
+            return unmatched();
+        }
         let sig = ClusterSignature::new(
             &request.dataset,
             &request.config.space,
@@ -1115,7 +1368,7 @@ impl ServiceInner {
             .point
             .features_with_algorithm(alg.index_within_collective());
         let predicted_us = model.forest.predict(&row).exp();
-        if !(predicted_us > 0.0 && observed_us > 0.0) {
+        if !(predicted_us.is_finite() && predicted_us > 0.0) {
             return unmatched();
         }
         let ratio = observed_us / predicted_us;
@@ -1123,16 +1376,37 @@ impl ServiceInner {
         c.drift_observations.incr();
         c.drift_cost_ratio.record(ratio);
         c.drift_last_ratio.set(ratio);
+        // The detector runs regardless of telemetry: drift *response*
+        // is a serving behavior, not an observability feature. Its
+        // signature map is LRU-bounded, so this cannot grow without
+        // limit the way the old gauge-only map did.
+        let key = sig.key();
+        let decision = self.drift.observe(&key, ratio);
+        c.drift_signatures.set(self.drift.tracked() as f64);
         if self.obs.is_enabled() {
-            let mut means = self.drift_means.lock().unwrap();
-            let (n, mean) = means.entry(sig.key()).or_insert((0u64, 0.0f64));
-            *n += 1;
-            *mean += (ratio - *mean) / *n as f64;
-            let mean = *mean;
-            c.drift_signatures.set(means.len() as f64);
-            let short: String = sig.key().chars().take(16).collect();
-            drop(means);
-            self.obs.set_gauge(&format!("drift.ratio.{short}"), mean);
+            // Gauge per *full* store key. Keys are currently 16 hex
+            // chars so truncation never bit, but two signatures must
+            // never fold into one gauge if the key format widens.
+            self.obs.set_gauge(&format!("drift.ratio.{key}"), decision.mean);
+        }
+        if decision.trigger {
+            c.drift_triggered.incr();
+            self.diag.warn(&format!(
+                "drift trigger for {key}: mean cost ratio {:.3} over {} observations — \
+                 queueing warm re-tune",
+                decision.mean, decision.count,
+            ));
+            let spec = RetuneSpec {
+                deweight: self.drift.config().deweight,
+                keys: vec![key],
+            };
+            let retune = TuneRequest {
+                dataset: request.dataset.clone(),
+                config: request.config.clone(),
+                collectives: vec![request.collective],
+                priority: Priority::Low,
+            };
+            self.enqueue(retune, Some(spec));
         }
         DriftSample {
             matched: true,
@@ -1195,6 +1469,7 @@ mod tests {
                     open = gcv.wait(open).unwrap();
                 }
             })),
+            ..ServiceHooks::default()
         };
         (hooks, gate, entered)
     }
@@ -1486,6 +1761,181 @@ mod tests {
             "disabled metrics keep the median empty, so nothing is ever slow"
         );
         assert!(service.metrics().counters.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drift_ratio_gauges_use_the_full_signature_key() {
+        // Regression: the gauge name used to truncate the signature
+        // key, which would fold distinct signatures into one gauge if
+        // the key format ever widened. Two signatures must always get
+        // two gauges, each suffixed with its *full* store key.
+        let dir = temp_dir("drift-gauge-keys");
+        let service = TuneService::open(&dir, ServeConfig::default(), Obs::enabled()).unwrap();
+        let mut expected = Vec::new();
+        for seed in [1, 2] {
+            let req = request(seed, vec![Collective::Bcast]);
+            assert!(matches!(service.submit(req.clone()).wait(), JobStatus::Done(_)));
+            let q = QueryRequest {
+                dataset: req.dataset.clone(),
+                config: req.config.clone(),
+                collective: Collective::Bcast,
+                point: Point::new(2, 2, 1024),
+            };
+            let selected = service.query(&q);
+            assert!(service.observe(&q, &selected.algorithm, 20.0).matched);
+            let sig = ClusterSignature::new(
+                &req.dataset,
+                &req.config.space,
+                Collective::Bcast,
+                &req.config.learner.collection,
+            );
+            expected.push(format!("drift.ratio.{}", sig.key()));
+        }
+        assert_ne!(expected[0], expected[1]);
+        let snapshot = service.metrics();
+        let ratio_gauges: Vec<&String> = snapshot
+            .gauges
+            .iter()
+            .map(|(n, _)| n)
+            .filter(|n| n.starts_with("drift.ratio."))
+            .collect();
+        assert_eq!(ratio_gauges.len(), 2, "one gauge per signature");
+        for name in &expected {
+            assert!(
+                ratio_gauges.contains(&name),
+                "missing full-key gauge {name}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_finite_observations_never_touch_drift_state() {
+        // Regression: `observed_us = +inf` used to pass the `> 0.0`
+        // check and poison the running mean permanently.
+        let dir = temp_dir("drift-finite");
+        let service = TuneService::open(&dir, ServeConfig::default(), Obs::enabled()).unwrap();
+        let req = request(3, vec![Collective::Bcast]);
+        assert!(matches!(service.submit(req.clone()).wait(), JobStatus::Done(_)));
+        let q = QueryRequest {
+            dataset: req.dataset.clone(),
+            config: req.config.clone(),
+            collective: Collective::Bcast,
+            point: Point::new(2, 2, 1024),
+        };
+        let algorithm = service.query(&q).algorithm;
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0, -5.0] {
+            let sample = service.observe(&q, &algorithm, bad);
+            assert!(!sample.matched, "observed_us = {bad} must be rejected");
+            assert!(sample.ratio.is_none());
+        }
+        let report = service.drift_status();
+        assert!(
+            report.signatures.is_empty(),
+            "rejected observations must leave no detector state"
+        );
+        let snapshot = service.metrics();
+        let observations = snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == "drift.observations")
+            .map_or(0, |(_, v)| *v);
+        assert_eq!(observations, 0);
+
+        // A finite observation still lands normally afterwards.
+        assert!(service.observe(&q, &algorithm, 25.0).matched);
+        assert_eq!(service.drift_status().signatures.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_eviction_rewarms_from_store_bit_identically() {
+        // Capacity 1 on one shard: tuning a second signature evicts
+        // the first serving model. A later query must re-warm it from
+        // the store and predict bit-identically — the cache is an
+        // accelerator, never a source of truth.
+        let dir = temp_dir("cache-evict");
+        let config = ServeConfig {
+            shards: 1,
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::enabled()).unwrap();
+        let req_a = request(1, vec![Collective::Bcast]);
+        let req_b = request(2, vec![Collective::Bcast]);
+        assert!(matches!(service.submit(req_a.clone()).wait(), JobStatus::Done(_)));
+        let q = QueryRequest {
+            dataset: req_a.dataset.clone(),
+            config: req_a.config.clone(),
+            collective: Collective::Bcast,
+            point: Point::new(2, 2, 4096),
+        };
+        let before = service.query(&q);
+        assert_eq!(before.source, QuerySource::Tuned);
+
+        // Tuning B's signature takes the single cache slot from A.
+        assert!(matches!(service.submit(req_b).wait(), JobStatus::Done(_)));
+        let stats = service.stats();
+        assert!(stats.cache_evicted >= 1, "capacity 1 must evict");
+        assert_eq!(stats.cached_models, 1, "cache stays within capacity");
+
+        // Re-querying A re-warms from the store, bit-identically.
+        let after = service.query(&q);
+        assert_eq!(after.source, QuerySource::Tuned);
+        assert_eq!(after.algorithm, before.algorithm);
+        assert_eq!(
+            after.predicted_us.unwrap().to_bits(),
+            before.predicted_us.unwrap().to_bits(),
+            "re-warmed prediction must be bit-identical"
+        );
+        assert_eq!(service.stats().cached_models, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn late_identical_requests_attach_to_the_running_job() {
+        // Regression: a request identical to a job *already running*
+        // used to re-run the whole tune (`take_matching` only sweeps
+        // the queue at pop time). It must attach to the running job
+        // and share its result object.
+        let dir = temp_dir("inflight-attach");
+        let (hooks, gate, entered) = first_call_gate();
+        let config = ServeConfig {
+            workers: 1,
+            slots: 1,
+            hooks,
+            ..ServeConfig::default()
+        };
+        let service = TuneService::open(&dir, config, Obs::enabled()).unwrap();
+
+        let req = request(1, vec![Collective::Bcast]);
+        let primary = service.submit(req.clone());
+        // The hook blocks inside run_tune, *after* the worker
+        // registered the fingerprint as in-flight.
+        await_entered(&entered);
+        let late: Vec<_> = (0..2).map(|_| service.submit(req.clone())).collect();
+        for h in &late {
+            assert!(
+                matches!(h.status(), JobStatus::Running),
+                "a late duplicate attaches immediately instead of queueing"
+            );
+        }
+        open_gate(&gate);
+        let JobStatus::Done(first) = primary.wait() else {
+            panic!("primary must complete")
+        };
+        for h in &late {
+            let JobStatus::Done(r) = h.wait() else {
+                panic!("attached rider must complete")
+            };
+            assert!(Arc::ptr_eq(&first, &r), "riders share the primary's result");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.trained, 1, "the tune ran exactly once");
+        assert_eq!(stats.attached, 2);
+        assert_eq!(stats.coalesced, 0, "nothing was swept from the queue");
+        assert_eq!(stats.completed, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -100,4 +100,4 @@ pub use store::{
     EntryFormat, GcReport, ImportReport, Probe, StoreEntry, StoreSummary, TuningStore,
     STORE_SCHEMA_VERSION,
 };
-pub use warm::{entry_from_outcome, tune_with_store, warm_start_from_probe};
+pub use warm::{entry_from_outcome, tune_with_store, warm_start_deweighted, warm_start_from_probe};

@@ -82,6 +82,34 @@ pub fn warm_start_from_probe(probe: &Probe, obs: &Obs) -> Option<WarmStart> {
     }
 }
 
+/// Like [`warm_start_from_probe`], but for re-tuning a signature whose
+/// regime has *drifted*: cached rows are still informative but no
+/// longer trustworthy, so even an exact hit becomes deweighted
+/// **priors** (thinned to `weight`) instead of trusted rows. Prior
+/// rows inform the warm forest but never retire a candidate, so the
+/// learner is free to re-measure everything under the new regime and
+/// fresh rows outvote the stale ones. A near hit composes the
+/// signature overlap with `weight`. Counted as `store.hits` +
+/// `store.deweighted_hits` (exact) or `store.near_hits` (near).
+pub fn warm_start_deweighted(probe: &Probe, weight: f64, obs: &Obs) -> Option<WarmStart> {
+    obs.incr_counter("store.quarantined_entries", probe.quarantined as u64);
+    if let Some(e) = &probe.exact {
+        obs.incr_counter("store.hits", 1);
+        obs.incr_counter("store.deweighted_hits", 1);
+        Some(WarmStart::from_priors(thin_priors(&e.samples, weight)))
+    } else if let Some((e, w)) = &probe.near {
+        obs.incr_counter("store.hits", 1);
+        obs.incr_counter("store.near_hits", 1);
+        Some(WarmStart::from_priors(thin_priors(
+            &e.samples,
+            (w * weight).clamp(0.0, 1.0),
+        )))
+    } else {
+        obs.incr_counter("store.misses", 1);
+        None
+    }
+}
+
 /// Build the store entry persisting one collective's converged outcome
 /// under `signature`. Rows are stored under the *current* signature,
 /// so foreign prior rows (the first `prior_points` of `collected`) are
@@ -174,6 +202,63 @@ mod tests {
             algorithm: Collective::Bcast.algorithms()[0],
             time_us: t,
         }
+    }
+
+    #[test]
+    fn deweighted_warm_start_demotes_exact_hits_to_priors() {
+        use crate::store::TuningStore;
+        use acclaim_core::{CriterionConfig, VarianceConvergence};
+        use acclaim_dataset::{DatasetConfig, FeatureSpace};
+
+        let dir = std::env::temp_dir().join("acclaim-store-deweight");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = TuningStore::open(&dir).unwrap();
+        let mut config = AcclaimConfig::new(FeatureSpace::tiny());
+        config.learner.criterion =
+            CriterionConfig::CumulativeVariance(VarianceConvergence::relative(4, 0.2));
+        let db = BenchmarkDatabase::new(DatasetConfig::tiny());
+        tune_with_store(
+            &store,
+            &config,
+            &db,
+            &[acclaim_collectives::Collective::Bcast],
+            &acclaim_obs::Obs::disabled(),
+        )
+        .unwrap();
+        let sig = ClusterSignature::new(
+            db.config(),
+            &config.space,
+            acclaim_collectives::Collective::Bcast,
+            &config.learner.collection,
+        );
+        let probe = store.probe(&sig).unwrap();
+        assert!(probe.exact.is_some(), "freshly tuned signature must exact-hit");
+
+        let obs = acclaim_obs::Obs::enabled();
+        let trusted = warm_start_from_probe(&probe, &obs).unwrap();
+        assert!(!trusted.exact.is_empty() && trusted.priors.is_empty());
+
+        // Deweighting demotes the same rows to priors: candidates stay
+        // live and fresh measurements can outvote the stale regime.
+        let full = warm_start_deweighted(&probe, 1.0, &obs).unwrap();
+        assert!(full.exact.is_empty());
+        assert_eq!(full.priors, trusted.exact);
+
+        let half = warm_start_deweighted(&probe, 0.5, &obs).unwrap();
+        assert!(half.priors.len() < full.priors.len());
+        let again = warm_start_deweighted(&probe, 0.5, &obs).unwrap();
+        assert_eq!(half.priors, again.priors, "thinning is deterministic");
+
+        let snap = obs.metrics_snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(counter("store.deweighted_hits"), 3);
+        assert_eq!(counter("store.exact_hits"), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
