@@ -1,6 +1,6 @@
 //! `bench_trajectory` — the PR's machine-readable perf trajectory.
 //!
-//! Times the workloads recent PRs optimized and emits `BENCH_pr8.json`
+//! Times the workloads recent PRs optimized and emits `BENCH_pr10.json`
 //! at the repository root (override with `--out PATH`):
 //!
 //! * the candidate variance scan, pointer-chasing vs flat SoA engine,
@@ -13,7 +13,12 @@
 //!   near 1.0;
 //! * one warm rule query through the `acclaim-serve` service (cache
 //!   hit against a pre-warmed serving model — the daemon's steady-state
-//!   lookup path, expected well under a millisecond).
+//!   lookup path, expected well under a millisecond);
+//! * the analytic-priors cold-start comparison (`acclaim-analytic`):
+//!   iterations-to-convergence and simulated benchmark cost of a cold
+//!   tune with and without Hockney/LogGP priors, medians over seeds
+//!   0–4 — deterministic simulator quantities, not host timings, so
+//!   they reproduce exactly on any machine.
 //!
 //! `--compare BASELINE.json` re-reads a committed trajectory and prints
 //! soft warnings for medians that regressed beyond a 25% band — it
@@ -40,7 +45,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Schema version of the emitted file; bump on layout changes.
-const BENCH_SCHEMA_VERSION: u32 = 1;
+/// v2 added the `analytic` block (PR 10).
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 #[derive(Serialize)]
 struct Shape {
@@ -69,6 +75,21 @@ struct Speedups {
     telemetry_overhead: f64,
 }
 
+/// Cold-start cost with vs without analytical priors: medians over
+/// seeds 0–4 of one bcast tune on the tiny grid. All four numbers are
+/// simulated (deterministic) quantities.
+#[derive(Serialize)]
+struct AnalyticPriors {
+    cold_iterations: f64,
+    priors_iterations: f64,
+    cold_bench_cost_us: f64,
+    priors_bench_cost_us: f64,
+    /// cold / priors — >1.0 means priors converge in fewer iterations.
+    iterations_speedup: f64,
+    /// cold / priors — >1.0 means priors collect cheaper.
+    bench_cost_speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Trajectory {
     pr: u32,
@@ -76,6 +97,7 @@ struct Trajectory {
     shape: Shape,
     medians_us: MediansUs,
     speedups: Speedups,
+    analytic: AnalyticPriors,
 }
 
 /// Median wall time of `f` in µs after `warmup` discarded runs.
@@ -160,7 +182,7 @@ fn main() {
         }
     }
     let out = out.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr8.json")
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr10.json")
     });
 
     // -- Variance scan, pointer vs flat, at the ablation shape. --------
@@ -270,8 +292,53 @@ fn main() {
     };
     eprintln!("serve_query_warm: {serve_query:.1} µs");
 
+    // -- Analytic-priors cold-start comparison (deterministic). --------
+    let median_f64 = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let (mut cold_iters, mut warm_iters) = (Vec::new(), Vec::new());
+    let (mut cold_cost, mut warm_cost) = (Vec::new(), Vec::new());
+    for seed in 0..5u64 {
+        let mut cfg = tune_cfg.clone();
+        cfg.learner.seed = seed;
+        let cold = Acclaim::new(cfg.clone()).tune(&db, &[Collective::Bcast]);
+        cfg.learner.analytic_priors.enabled = true;
+        let warm = acclaim_analytic::tune_with_analytic(
+            &cfg,
+            &db,
+            &[Collective::Bcast],
+            &acclaim_obs::Obs::disabled(),
+        );
+        let (cold, warm) = (&cold.reports[0].1, &warm.reports[0].1);
+        cold_iters.push(cold.log.len() as f64);
+        warm_iters.push(warm.log.len() as f64);
+        cold_cost.push(cold.stats.wall_us);
+        warm_cost.push(warm.stats.wall_us);
+    }
+    let analytic = AnalyticPriors {
+        cold_iterations: median_f64(cold_iters),
+        priors_iterations: median_f64(warm_iters),
+        cold_bench_cost_us: median_f64(cold_cost),
+        priors_bench_cost_us: median_f64(warm_cost),
+        iterations_speedup: 0.0,
+        bench_cost_speedup: 0.0,
+    };
+    let analytic = AnalyticPriors {
+        iterations_speedup: analytic.cold_iterations / analytic.priors_iterations,
+        bench_cost_speedup: analytic.cold_bench_cost_us / analytic.priors_bench_cost_us,
+        ..analytic
+    };
+    eprintln!(
+        "analytic_priors: {} -> {} iterations, {:.0} -> {:.0} µs bench cost",
+        analytic.cold_iterations,
+        analytic.priors_iterations,
+        analytic.cold_bench_cost_us,
+        analytic.priors_bench_cost_us
+    );
+
     let trajectory = Trajectory {
-        pr: 8,
+        pr: 10,
         schema_version: BENCH_SCHEMA_VERSION,
         shape: Shape {
             n_samples: N_SAMPLES,
@@ -292,6 +359,7 @@ fn main() {
             des: des_heap / des_cal,
             telemetry_overhead: tune_obs / tune,
         },
+        analytic,
     };
     let text =
         serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");

@@ -1,5 +1,6 @@
 //! One module per subcommand; each exposes `run(&Args) -> Result<String, String>`.
 
+pub mod analytic;
 pub mod selections;
 pub mod serve;
 pub mod simulate;

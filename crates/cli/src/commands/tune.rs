@@ -4,8 +4,9 @@
 use crate::args::Args;
 use crate::context::{cluster_from, collectives_from, database_from, maybe_save_db, space_from};
 use crate::trace::TraceOutputs;
+use acclaim_analytic::tune_with_analytic;
 use acclaim_core::{
-    Acclaim, AcclaimConfig, CollectionPolicy, CollectionStrategy, CriterionConfig, RobustAgg,
+    AcclaimConfig, CollectionPolicy, CollectionStrategy, CriterionConfig, RobustAgg,
 };
 use acclaim_obs::{Diag, Obs};
 use acclaim_store::{tune_with_store, TuningStore};
@@ -71,6 +72,24 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     let flat = config.learner.flat;
     let policy = config.learner.collection.clone();
 
+    // Analytical cost-model priors: `--analytic-priors` seeds cold
+    // runs with the Hockney/LogGP sketch and prunes guideline
+    // violators; `--no-analytic-priors` wins when both are given
+    // (same override convention as --no-store), and `--no-prune`
+    // keeps the priors but leaves every candidate live.
+    config.learner.analytic_priors.enabled =
+        args.flag("analytic-priors") && !args.flag("no-analytic-priors");
+    if args.flag("no-prune") {
+        config.learner.analytic_priors.prune = false;
+    }
+    if let Some(margin) = args.get_num::<f64>("prune-margin")? {
+        if margin < 1.0 {
+            return Err("option --prune-margin: must be >= 1".into());
+        }
+        config.learner.analytic_priors.prune_margin = margin;
+    }
+    let analytic = config.learner.analytic_priors.enabled;
+
     // Persistent tuning store: `--store DIR` warm-starts from (and
     // writes back to) a cross-job cache; `--no-store` wins when both
     // are given, so scripts can override an aliased default.
@@ -82,7 +101,7 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
     // Fault handling and store traffic are counted through acclaim-obs,
     // so both force the recorder on even without a trace output — the
     // report's counter lines are sourced from the metrics snapshot.
-    let obs = if (policy.is_enabled() || store_dir.is_some()) && !obs.is_enabled() {
+    let obs = if (policy.is_enabled() || store_dir.is_some() || analytic) && !obs.is_enabled() {
         Obs::enabled()
     } else {
         obs
@@ -102,7 +121,10 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
                 tune_with_store(&store, &config, &db, &collectives, &obs)
                     .map_err(|e| format!("store-backed tuning: {e}"))?
             }
-            None => Acclaim::new(config).tune_with_obs(&db, &collectives, &obs),
+            // The store-less path honors the analytic config too
+            // (tune_with_analytic is a literal tune_with_obs when the
+            // config is disabled).
+            None => tune_with_analytic(&config, &db, &collectives, &obs),
         }
     };
     let json = serde_json::to_string_pretty(&tuning.tuning_file.to_mpich_json())
@@ -128,6 +150,24 @@ pub fn run(args: &Args, diag: &Diag) -> Result<String, String> {
             .collect();
         report.push_str(&format!(
             "store counters (obs): {}\n",
+            if counters.is_empty() {
+                "none recorded".to_string()
+            } else {
+                counters.join(" ")
+            }
+        ));
+    }
+    if analytic {
+        let snap = obs.snapshot();
+        let counters: Vec<String> = snap
+            .metrics
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("analytic."))
+            .map(|(name, value)| format!("{}={value}", name.trim_start_matches("analytic.")))
+            .collect();
+        report.push_str(&format!(
+            "analytic counters (obs): {}\n",
             if counters.is_empty() {
                 "none recorded".to_string()
             } else {
@@ -254,6 +294,34 @@ mod tests {
         .unwrap();
         assert!(!off.contains("store counters"), "{off}");
         std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn analytic_priors_report_their_counters() {
+        let out = std::env::temp_dir().join("acclaim-cli-tune-analytic-test.json");
+        let report = run(&tune_args(&["--analytic-priors"], &out), &Diag::new(true)).unwrap();
+        assert!(
+            report.contains("analytic counters (obs):") && report.contains("priors_injected="),
+            "missing analytic counter line:\n{report}"
+        );
+        assert!(report.contains("candidates_pruned="), "{report}");
+        // --no-analytic-priors wins over --analytic-priors, silencing
+        // the counter line (the run is bit-identical to a plain tune).
+        let off = run(
+            &tune_args(&["--analytic-priors", "--no-analytic-priors"], &out),
+            &Diag::new(true),
+        )
+        .unwrap();
+        assert!(!off.contains("analytic counters"), "{off}");
+        // --no-prune keeps the priors but retires nothing.
+        let noprune = run(
+            &tune_args(&["--analytic-priors", "--no-prune"], &out),
+            &Diag::new(true),
+        )
+        .unwrap();
+        assert!(noprune.contains("priors_injected="), "{noprune}");
+        assert!(!noprune.contains("candidates_pruned="), "{noprune}");
         std::fs::remove_file(&out).ok();
     }
 

@@ -4,7 +4,8 @@
 //! ```text
 //! acclaim tune       --machine theta --nodes 32 --ppn 16 --collectives bcast,allreduce \
 //!                    --out tuning.json [--db cache.json] [--budget N] [--sequential] \
-//!                    [--store DIR | --no-store]
+//!                    [--store DIR | --no-store] [--analytic-priors]
+//! acclaim analytic   predict --machine bebop --nodes 8 --ppn 4 --msg 65536
 //! acclaim selections --tuning tuning.json --collective bcast --nodes 16 --ppn 8
 //! acclaim simulate   --machine bebop --nodes 16 --ppn 4 --collective reduce --msg 262144
 //! acclaim store      ls|gc|export|import --store DIR [--out FILE] [--in FILE]
@@ -48,10 +49,24 @@ commands:
               [--faults none|production] [--max-retries N] [--repeats N]
               [--bench-timeout-factor F] [--robust-agg median|mean]
               [--store DIR] [--no-store] [--no-flat]
+              [--analytic-priors] [--no-analytic-priors] [--no-prune]
+              [--prune-margin F]
               (--store warm-starts from and persists to a cross-job
                tuning store; --no-store wins when both are given;
                --no-flat uses pointer-chasing tree traversal for the
-               variance scan instead of the flat SoA engine)
+               variance scan instead of the flat SoA engine;
+               --analytic-priors seeds cold runs with Hockney/LogGP
+               cost-model predictions and prunes guideline violators —
+               --no-analytic-priors wins when both are given,
+               --no-prune keeps every candidate live, --prune-margin
+               sets the violation threshold)
+  analytic    inspect the analytical cost-model catalog
+              predict --machine bebop|theta --nodes N --ppn N
+                      [--msg BYTES] [--collective NAME]
+                      [--prune-margin F] [--latency-factor F]
+              (prints each algorithm's predicted cost, the derived
+               alpha/beta/gamma parameters, and the guideline verdicts
+               at the given margin)
   selections  print the selections of a tuning file (or the defaults)
               [--tuning FILE] --collective NAME --nodes N --ppn N
               [--min-msg B --max-msg B]
@@ -67,10 +82,13 @@ commands:
               --store DIR [--socket PATH] [--workers N] [--slots N]
               [--shards N] [--format json|binary]
               [--flight N] [--slow-log FACTOR]
+              [--drift-band F] [--drift-min-obs N] [--drift-cooldown N]
+              [--drift-deweight F] [--drift-max-signatures N]
               (runs until a client sends shutdown; prints serve.*
                counters, gauges, and phase-latency quantiles on exit;
                --slow-log warns on requests slower than FACTOR x the
-               running median)
+               running median; the --drift-* options arm the observed-
+               cost drift watch and its warm re-tune trigger)
   client      talk to a running daemon over line-delimited JSON
               --socket PATH [--wait-server SECS]
               <op> or --op OP, where OP is
@@ -79,6 +97,9 @@ commands:
                   [--priority low|normal|high] [--nodes N --ppn N --msg B]
                 metrics  scrape live metrics [--json]
                 trace    dump recent flight records [--last N] [--json]
+                observe  feed observed costs to the drift watch
+                  [--pool-index I] [--count N] [--factor F]
+                drift    print the drift watch's tracked signatures
                 watch    refreshing live summary
                   [--refresh N] [--interval-ms MS]
               --load N  drive N deterministic tune sessions
@@ -87,14 +108,18 @@ commands:
 ";
 
 fn dispatch(args: Args, diag: &Diag) -> Result<String, String> {
-    // Only `store` and `client` take an action positional.
-    if !matches!(args.command.as_deref(), Some("store") | Some("client")) {
+    // Only `store`, `client`, and `analytic` take an action positional.
+    if !matches!(
+        args.command.as_deref(),
+        Some("store") | Some("client") | Some("analytic")
+    ) {
         if let Some(action) = &args.action {
             return Err(format!("unexpected positional argument '{action}'"));
         }
     }
     match args.command.as_deref() {
         Some("tune") => commands::tune::run(&args, diag),
+        Some("analytic") => commands::analytic::run(&args, diag),
         Some("selections") => commands::selections::run(&args, diag),
         Some("simulate") => commands::simulate::run(&args, diag),
         Some("store") => commands::store::run(&args, diag),

@@ -319,6 +319,7 @@ mod tests {
                 incremental: true,
                 flat: true,
                 collection: CollectionPolicy::default(),
+                analytic_priors: Default::default(),
             },
             space: FeatureSpace::tiny(),
         }

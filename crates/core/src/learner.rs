@@ -132,6 +132,67 @@ pub struct LearnerConfig {
     /// is bit-identical to fault-unaware configurations.
     #[serde(default)]
     pub collection: CollectionPolicy,
+    /// Analytical cost-model priors (crate `acclaim-analytic`): seed
+    /// cold runs with Hockney/LogGP predictions for every candidate
+    /// and retire candidates that violate self-consistency guidelines.
+    /// The core stays analytic-agnostic — this is plain configuration
+    /// data read by the orchestration layers (store, serve, CLI) that
+    /// build the actual [`WarmStart`]. The default is disabled, in
+    /// which case no prior rows exist and runs are bit-identical to
+    /// configurations predating this field.
+    #[serde(default)]
+    pub analytic_priors: AnalyticPriorsConfig,
+}
+
+/// Configuration for analytical cost-model priors and guideline
+/// pruning. Plain data: `acclaim-core` never computes a prediction —
+/// the `acclaim-analytic` crate reads this config in the orchestration
+/// layers and translates it into [`WarmStart`] rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticPriorsConfig {
+    /// Master switch. `false` (the default) makes every other field
+    /// inert and keeps runs bit-identical to pre-analytic behavior.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Fraction of the analytical prior rows to keep, thinned
+    /// deterministically by candidate fingerprint (1.0 = the full
+    /// sketch of the candidate grid). Mirrors the store's
+    /// `thin_priors` deweighting semantics.
+    #[serde(default = "default_analytic_weight")]
+    pub weight: f64,
+    /// Whether guideline violations retire candidates from the
+    /// selection pool (they still receive prior rows either way).
+    #[serde(default = "default_analytic_prune")]
+    pub prune: bool,
+    /// A candidate is pruned only when its analytical cost exceeds the
+    /// guideline's reference cost by this factor. Margins well above
+    /// 1.0 keep pruning conservative: model error has to be larger
+    /// than the margin before the true optimum could be at risk.
+    #[serde(default = "default_analytic_margin")]
+    pub prune_margin: f64,
+}
+
+fn default_analytic_weight() -> f64 {
+    1.0
+}
+
+fn default_analytic_prune() -> bool {
+    true
+}
+
+fn default_analytic_margin() -> f64 {
+    3.0
+}
+
+impl Default for AnalyticPriorsConfig {
+    fn default() -> Self {
+        AnalyticPriorsConfig {
+            enabled: false,
+            weight: default_analytic_weight(),
+            prune: default_analytic_prune(),
+            prune_margin: default_analytic_margin(),
+        }
+    }
 }
 
 impl LearnerConfig {
@@ -151,6 +212,7 @@ impl LearnerConfig {
             incremental: true,
             flat: true,
             collection: CollectionPolicy::default(),
+            analytic_priors: AnalyticPriorsConfig::default(),
         }
     }
 
@@ -189,6 +251,7 @@ impl LearnerConfig {
             incremental: true,
             flat: true,
             collection: CollectionPolicy::default(),
+            analytic_priors: AnalyticPriorsConfig::default(),
         }
     }
 
@@ -248,6 +311,13 @@ pub struct WarmStart {
     pub exact: Vec<TrainingSample>,
     /// Deweighted measurements from a near (compatible) signature.
     pub priors: Vec<TrainingSample>,
+    /// Candidates retired from the selection pool without a trusted
+    /// measurement — guideline pruning (`acclaim-analytic`). Pruned
+    /// candidates are never benchmarked but usually still carry a
+    /// prior row, so the forest keeps evidence about them and the
+    /// rules generator can still rank them at prediction time.
+    #[serde(default)]
+    pub pruned: Vec<Candidate>,
 }
 
 impl WarmStart {
@@ -256,6 +326,7 @@ impl WarmStart {
         WarmStart {
             exact: samples,
             priors: Vec::new(),
+            pruned: Vec::new(),
         }
     }
 
@@ -264,17 +335,20 @@ impl WarmStart {
         WarmStart {
             exact: Vec::new(),
             priors: samples,
+            pruned: Vec::new(),
         }
     }
 
-    /// Total number of injected rows.
+    /// Total number of injected rows (pruned candidates carry no rows
+    /// of their own and are not counted).
     pub fn len(&self) -> usize {
         self.exact.len() + self.priors.len()
     }
 
-    /// Whether the warm start carries no rows at all.
+    /// Whether the warm start would be a no-op: no rows to inject and
+    /// no candidates to retire.
     pub fn is_empty(&self) -> bool {
-        self.exact.is_empty() && self.priors.is_empty()
+        self.exact.is_empty() && self.priors.is_empty() && self.pruned.is_empty()
     }
 }
 
@@ -473,6 +547,16 @@ impl ActiveLearner {
                 reused_points += 1;
                 if pool.contains(&c) {
                     collected_set.insert(c);
+                }
+            }
+            // Guideline-pruned candidates are retired exactly like
+            // exact-row candidates — inserted into `collected_set` so
+            // both the corner seeding and the selection loop skip them
+            // — but contribute no training row here (their prior rows,
+            // if any, ride in `w.priors` above).
+            for c in &w.pruned {
+                if pool.contains(c) {
+                    collected_set.insert(*c);
                 }
             }
             obs.counter("store.points_reused").add(reused_points as u64);
@@ -1344,6 +1428,7 @@ mod tests {
             incremental: true,
             flat: true,
             collection: CollectionPolicy::default(),
+            analytic_priors: Default::default(),
         }
     }
 
@@ -1406,6 +1491,7 @@ mod tests {
             incremental: true,
             flat: true,
             collection: CollectionPolicy::default(),
+            analytic_priors: Default::default(),
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Allreduce, &space, None);
         let total_candidates = space.len() * 2;
@@ -1445,6 +1531,7 @@ mod tests {
             incremental: true,
             flat: true,
             collection: CollectionPolicy::default(),
+            analytic_priors: Default::default(),
         };
         let out = ActiveLearner::new(cfg).train(&db, Collective::Bcast, &space, None);
         assert!(out.test_wall_us > 0.0, "test set must cost machine time");

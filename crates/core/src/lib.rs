@@ -39,8 +39,8 @@ pub use collector::{
 };
 pub use convergence::{SlowdownThreshold, VarianceConvergence};
 pub use learner::{
-    ActiveLearner, CollectionStrategy, CriterionConfig, IterationRecord, LearnerConfig,
-    SelectionPolicy, TrainingOutcome, WarmStart,
+    ActiveLearner, AnalyticPriorsConfig, CollectionStrategy, CriterionConfig, IterationRecord,
+    LearnerConfig, SelectionPolicy, TrainingOutcome, WarmStart,
 };
 pub use model::{PerfModel, TrainingSample};
 pub use rules::{generate_rules, CollectiveRules, Rule, RuleSet, TunedSelector, TuningFile};

@@ -22,6 +22,7 @@
 use crate::drift::{DriftConfig, DriftDetector, DriftStatusReport};
 use crate::index::SharedStore;
 use crate::queue::{JobId, JobQueue, JobState, JobStatus, Priority, QueuedJob};
+use acclaim_analytic::AnalyticPrior;
 use acclaim_collectives::{mpich_default, Collective};
 use acclaim_core::{Acclaim, AcclaimConfig, TuningFile, WarmStart};
 use acclaim_dataset::{BenchmarkDatabase, DatasetConfig, Point};
@@ -946,6 +947,18 @@ impl ServiceInner {
         let probe_started = Instant::now();
         let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
         let mut signatures = Vec::with_capacity(request.collectives.len());
+        // Requests opting into analytical priors get them composed
+        // with whatever the store provides — cold-path requests
+        // automatically start from the full analytical sketch. The
+        // request's own config gates this (default off), so the served
+        // path stays bit-identical to `tune_with_store` and to
+        // pre-analytic behavior.
+        let analytic = request.config.learner.analytic_priors.enabled.then(|| {
+            AnalyticPrior::from_dataset(
+                &request.dataset,
+                request.config.learner.analytic_priors.clone(),
+            )
+        });
         for &c in &request.collectives {
             let sig = ClusterSignature::new(
                 &request.dataset,
@@ -957,10 +970,16 @@ impl ServiceInner {
             // A drift re-tune distrusts the cached rows: even exact
             // hits are demoted to thinned priors so fresh measurements
             // from the shifted regime can outvote them.
-            let warm = match retune {
+            let mut warm = match retune {
                 Some(spec) => warm_start_deweighted(&probe, spec.deweight, obs),
                 None => warm_start_from_probe(&probe, obs),
             };
+            if let Some(prior) = &analytic {
+                let augmented = prior.augment(warm.take(), c, &request.config.space, obs);
+                if !augmented.is_empty() {
+                    warm = Some(augmented);
+                }
+            }
             if let Some(warm) = warm {
                 warms.insert(c, warm);
             }

@@ -26,6 +26,7 @@
 
 use crate::signature::ClusterSignature;
 use crate::store::{Probe, StoreEntry, TuningStore, STORE_SCHEMA_VERSION};
+use acclaim_analytic::AnalyticPrior;
 use acclaim_collectives::Collective;
 use acclaim_core::{
     Acclaim, AcclaimConfig, CollectiveRules, JobTuning, TrainingOutcome, TrainingSample,
@@ -148,6 +149,13 @@ pub fn entry_from_outcome(
 /// a store-less tune. I/O errors surface as `Err`; a hit that fails to
 /// parse is treated as a miss (and can be reclaimed with
 /// [`TuningStore::gc`]).
+///
+/// When `config.learner.analytic_priors` is enabled, analytical
+/// cost-model priors compose with whatever the store provided: exact
+/// store rows win (their candidates receive no analytical prior), and
+/// the analytical rows are appended after any store priors so the
+/// write-back slicing (`prior_points`) is unaffected — an analytical
+/// guess is never persisted as a measurement.
 pub fn tune_with_store(
     store: &TuningStore,
     config: &AcclaimConfig,
@@ -159,10 +167,22 @@ pub fn tune_with_store(
     // results to the infallible training pipeline.
     let mut warms: HashMap<Collective, WarmStart> = HashMap::new();
     let mut signatures: HashMap<Collective, ClusterSignature> = HashMap::new();
+    let analytic = config
+        .learner
+        .analytic_priors
+        .enabled
+        .then(|| AnalyticPrior::from_dataset(db.config(), config.learner.analytic_priors.clone()));
     for &c in collectives {
         let sig = ClusterSignature::new(db.config(), &config.space, c, &config.learner.collection);
         let probe = store.probe(&sig)?;
-        if let Some(warm) = warm_start_from_probe(&probe, obs) {
+        let mut warm = warm_start_from_probe(&probe, obs);
+        if let Some(prior) = &analytic {
+            let augmented = prior.augment(warm.take(), c, &config.space, obs);
+            if !augmented.is_empty() {
+                warm = Some(augmented);
+            }
+        }
+        if let Some(warm) = warm {
             warms.insert(c, warm);
         }
         signatures.insert(c, sig);

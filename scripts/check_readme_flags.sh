@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Guard against README/CLI drift: every `--flag` shown in a README
+# `acclaim ...` invocation (including backslash-continued lines) must
+# appear in the binary's usage text. Run from the repository root.
+set -euo pipefail
+
+bin=target/release/acclaim
+[ -x "$bin" ] || cargo build --release -p acclaim-cli
+
+# The CLI prints its usage (listing every flag of every subcommand) on
+# an empty invocation; it exits nonzero by design.
+usage=$("$bin" 2>&1 || true)
+
+flags=$(awk '
+  /^[$ ]*acclaim / { active = 1 }
+  active { print; if (!/\\$/) active = 0 }
+' README.md | grep -oE -- '--[a-z][a-z0-9-]*' | sort -u)
+
+missing=0
+for f in $flags; do
+  if ! printf '%s' "$usage" | grep -qF -- "$f"; then
+    echo "README flag $f is not in 'acclaim' usage" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+echo "README flags all present in CLI usage ($(echo "$flags" | wc -w) flags checked)"

@@ -14,6 +14,8 @@
 //! | [`core`] | the autotuner: selection, convergence, parallel collection, rules |
 //! | [`store`] | persistent cross-job tuning store with warm starts |
 //! | [`serve`] | tuning-as-a-service: job queue, shared store index, rule serving |
+//! | [`analytic`] | Hockney/LogGP cost-model catalog, guideline pruning, cold-start priors |
+//! | [`obs`] | zero-dependency tracing and metrics substrate |
 //!
 //! See `ARCHITECTURE.md` in the repository root for the dependency
 //! graph and a walkthrough of one tuning iteration.
@@ -93,6 +95,7 @@
 //! assert_eq!(alg.collective(), Collective::Allreduce);
 //! ```
 
+pub use acclaim_analytic as analytic;
 pub use acclaim_collectives as collectives;
 pub use acclaim_core as core;
 pub use acclaim_dataset as dataset;
@@ -104,12 +107,15 @@ pub use acclaim_store as store;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
+    pub use acclaim_analytic::{
+        analytic_warms, tune_with_analytic, AnalyticPrior, CostModel, GuidelineSet,
+    };
     pub use acclaim_collectives::{
         mpich_default, Algorithm, Collective, Measurement, MicrobenchConfig,
     };
     pub use acclaim_core::{
         all_candidates, application_impact, rank_by_variance, rank_by_variance_flat,
-        Acclaim, AcclaimConfig,
+        Acclaim, AcclaimConfig, AnalyticPriorsConfig,
         ActiveLearner, Candidate, CollectionPolicy, CollectionStrategy, CriterionConfig,
         FaultEvent, FaultStats, JobTuning, LearnerConfig, PerfModel, RobustAgg,
         SelectionPolicy, TrainingOutcome, TrainingSample, TunedSelector, TuningFile,
